@@ -1,0 +1,211 @@
+package flash_test
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation. One benchmark per figure; each iteration runs the
+// figure's full sweep at reproduction scale and prints the same
+// rows/series the paper reports. Run with:
+//
+//	go test -bench=Fig -benchtime=1x          # every figure once
+//	go test -bench=BenchmarkFig6 -benchtime=1x
+//	go test -bench=Ablation -benchtime=1x     # design-choice ablations
+//
+// cmd/experiments runs the identical harness as a CLI, including the
+// -full paper-scale mode.
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	flash "repro"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/trace"
+)
+
+// benchOptions prints each figure's table once (on the first iteration)
+// and silences repeats so -benchtime > 1x still measures cleanly.
+func benchOptions(b *testing.B, iter int) exp.Options {
+	o := exp.Options{Seed: 1, Out: os.Stdout}
+	if iter > 0 {
+		devnull, err := os.Open(os.DevNull)
+		if err == nil {
+			b.Cleanup(func() { devnull.Close() })
+		}
+		o.Out = discard{}
+	}
+	return o
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// runFig benches one figure-regeneration function.
+func runFig(b *testing.B, fig func(exp.Options) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := fig(benchOptions(b, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3PaymentSizeCDF(b *testing.B)  { runFig(b, exp.Fig3) }
+func BenchmarkFig4Recurrence(b *testing.B)      { runFig(b, exp.Fig4) }
+func BenchmarkFig6CapacitySweep(b *testing.B)   { runFig(b, exp.Fig6) }
+func BenchmarkFig7LoadSweep(b *testing.B)       { runFig(b, exp.Fig7) }
+func BenchmarkFig8Probing(b *testing.B)         { runFig(b, exp.Fig8) }
+func BenchmarkFig9FeeOptimization(b *testing.B) { runFig(b, exp.Fig9) }
+func BenchmarkFig10Threshold(b *testing.B)      { runFig(b, exp.Fig10) }
+func BenchmarkFig11MicePaths(b *testing.B)      { runFig(b, exp.Fig11) }
+func BenchmarkFig12Testbed50(b *testing.B)      { runFig(b, exp.Fig12) }
+func BenchmarkFig13Testbed100(b *testing.B)     { runFig(b, exp.Fig13) }
+func BenchmarkHeadlineVolumeGain(b *testing.B)  { runFig(b, exp.Headline) }
+
+// Design-choice ablations (DESIGN.md §5).
+func BenchmarkAblationElephantK(b *testing.B)    { runFig(b, exp.AblationElephantK) }
+func BenchmarkAblationMiceOrder(b *testing.B)    { runFig(b, exp.AblationMiceOrder) }
+func BenchmarkAblationProbeAllK(b *testing.B)    { runFig(b, exp.AblationProbeAllK) }
+func BenchmarkAblationMaxFlowBound(b *testing.B) { runFig(b, exp.AblationMaxFlowBound) }
+
+// --- Micro-benchmarks of the routing hot paths ---
+
+// benchNetwork builds a funded Ripple-like network once per benchmark.
+func benchNetwork(b *testing.B, nodes int) (*flash.Network, []trace.Payment, float64) {
+	b.Helper()
+	net, err := flash.BuildNetwork("ripple", nodes, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := flash.DefaultTraceConfig(nodes)
+	cfg.Graph = net.Graph()
+	gen, err := flash.NewTraceGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payments := gen.Generate(4096)
+	threshold := flash.ThresholdForMiceFraction(trace.Amounts(payments), 0.9)
+	return net, payments, threshold
+}
+
+// BenchmarkElephantRouting measures one elephant payment end to end
+// (Algorithm 1 probing + LP split + atomic commit) on a 1,870-node
+// network.
+func BenchmarkElephantRouting(b *testing.B) {
+	net, payments, _ := benchNetwork(b, 1870)
+	router := core.New(core.DefaultConfig(0)) // everything elephant
+	snap := net.Snapshot()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := payments[rng.Intn(len(payments))]
+		if p.Sender == p.Receiver {
+			continue
+		}
+		tx, err := net.Begin(p.Sender, p.Receiver, p.Amount)
+		if err != nil {
+			b.Fatal(err)
+		}
+		router.Route(tx) //nolint:errcheck // failures are part of the workload
+		if i%256 == 255 {
+			b.StopTimer()
+			net.Restore(snap)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkMiceRouting measures one mouse payment (routing-table lookup
+// + trial-and-error) on a 1,870-node network.
+func BenchmarkMiceRouting(b *testing.B) {
+	net, payments, _ := benchNetwork(b, 1870)
+	cfg := core.DefaultConfig(1e18) // everything mice
+	router := core.New(cfg)
+	snap := net.Snapshot()
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := payments[rng.Intn(len(payments))]
+		if p.Sender == p.Receiver {
+			continue
+		}
+		tx, err := net.Begin(p.Sender, p.Receiver, p.Amount)
+		if err != nil {
+			b.Fatal(err)
+		}
+		router.Route(tx) //nolint:errcheck
+		if i%256 == 255 {
+			b.StopTimer()
+			net.Restore(snap)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkProbe measures one path probe on the in-memory substrate.
+func BenchmarkProbe(b *testing.B) {
+	net, _, _ := benchNetwork(b, 1870)
+	g := net.Graph()
+	path := flash.ShortestPath(g, 0, flash.NodeID(g.NumNodes()-1), nil)
+	if path == nil {
+		b.Skip("no path in generated topology")
+	}
+	tx, err := net.Begin(path[0], path[len(path)-1], 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tx.Abort() //nolint:errcheck
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Probe(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHoldCommit measures the two-phase commit of a single-path
+// payment on the in-memory substrate.
+func BenchmarkHoldCommit(b *testing.B) {
+	net, _, _ := benchNetwork(b, 200)
+	g := net.Graph()
+	path := flash.ShortestPath(g, 0, flash.NodeID(g.NumNodes()-1), nil)
+	if path == nil {
+		b.Skip("no path in generated topology")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := net.Begin(path[0], path[len(path)-1], 0.001)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Hold(path, 0.001); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Abort(); err != nil { // abort keeps balances steady across iterations
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullSimulation2000 measures a complete 2000-payment Flash
+// simulation run — the unit of every figure sweep.
+func BenchmarkFullSimulation2000(b *testing.B) {
+	net, payments, threshold := benchNetwork(b, 500)
+	snap := net.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net.Restore(snap)
+		router := core.New(core.DefaultConfig(threshold))
+		b.StartTimer()
+		if _, err := flash.RunSimulation(net, router, payments[:2000], threshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

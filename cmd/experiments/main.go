@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// from Figure 3 (trace statistics) through Figure 13 (100-node
+// testbed), plus the headline success-volume comparison.
+//
+// Examples:
+//
+//	experiments                 # all figures, reduced scale (~2 min)
+//	experiments -full           # paper-scale parameters (tens of minutes)
+//	experiments -fig 6,8        # selected figures only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		figs = flag.String("fig", "all", "comma-separated figure list (3,4,6,7,8,9,10,11,12,13,headline,ablations) or 'all'")
+		full = flag.Bool("full", false, "paper-scale parameters (slower)")
+		seed = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout}
+	runners := map[string]func(exp.Options) error{
+		"3":         exp.Fig3,
+		"4":         exp.Fig4,
+		"6":         exp.Fig6,
+		"7":         exp.Fig7,
+		"8":         exp.Fig8,
+		"9":         exp.Fig9,
+		"10":        exp.Fig10,
+		"11":        exp.Fig11,
+		"12":        exp.Fig12,
+		"13":        exp.Fig13,
+		"headline":  exp.Headline,
+		"ablations": exp.Ablations,
+	}
+	order := []string{"3", "4", "6", "7", "8", "9", "10", "11", "12", "13", "headline", "ablations"}
+
+	selected := map[string]bool{}
+	if *figs == "all" {
+		for _, f := range order {
+			selected[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			f = strings.TrimSpace(f)
+			if _, ok := runners[f]; !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", f)
+				os.Exit(2)
+			}
+			selected[f] = true
+		}
+	}
+	for _, f := range order {
+		if !selected[f] {
+			continue
+		}
+		if err := runners[f](o); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Command flashnode runs a single offchain protocol node as a
+// standalone TCP daemon — the deployment shape of the paper's prototype,
+// where "each node of an offchain network [is] a single process ...
+// bound to a unique ip address and port number tuple" (§5.2).
+//
+// The node reads three text files at launch (mirroring the prototype,
+// which "reads the network topology from a local file at launch time"):
+//
+//	-topology  edge list ("a b" per line, '#' comments)
+//	-channels  channel state: "a b balAB balBA feeAB feeBA" per line
+//	           (only lines where a or b equals this node's ID apply)
+//	-peers     address registry: "id host:port" per line
+//
+// Example (3-node line, run in three shells):
+//
+//	flashnode -id 0 -listen 127.0.0.1:7000 -topology topo.txt -channels ch.txt -peers peers.txt
+//	flashnode -id 1 -listen 127.0.0.1:7001 ...
+//	flashnode -id 2 -listen 127.0.0.1:7002 ...
+//
+// With -pay RECEIVER:AMOUNT the node routes one payment with Flash and
+// exits with status 0 on success; otherwise it serves until interrupted.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/pcn"
+	"repro/internal/topo"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", -1, "this node's ID (required)")
+		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
+		topoPath = flag.String("topology", "", "edge-list topology file (required)")
+		chanPath = flag.String("channels", "", "channel balance/fee file (required)")
+		peerPath = flag.String("peers", "", "peer address registry file (required)")
+		pay      = flag.String("pay", "", "optional one-shot payment RECEIVER:AMOUNT, routed with Flash")
+		k        = flag.Int("k", 20, "Flash elephant path budget")
+		m        = flag.Int("m", 4, "Flash mice paths per receiver")
+		timeout  = flag.Duration("timeout", 5*time.Second, "protocol reply timeout")
+	)
+	flag.Parse()
+	if *id < 0 || *topoPath == "" || *chanPath == "" || *peerPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := loadTopology(*topoPath)
+	fatalIf(err)
+	n, err := node.New(node.Config{
+		ID: topo.NodeID(*id), Graph: g, ListenAddr: *listen, Timeout: *timeout,
+	})
+	fatalIf(err)
+	defer n.Close()
+	fmt.Printf("flashnode %d listening on %s (%d nodes, %d channels)\n",
+		*id, n.Addr(), g.NumNodes(), g.NumChannels())
+
+	peers, err := loadPeers(*peerPath)
+	fatalIf(err)
+	n.SetPeers(peers)
+	fatalIf(loadChannels(n, g, *chanPath))
+
+	if *pay != "" {
+		var receiver topo.NodeID
+		var amount float64
+		_, err := fmt.Sscanf(*pay, "%d:%f", &receiver, &amount)
+		fatalIf(err)
+		cfg := core.DefaultConfig(math.Inf(1)) // single payment: mice path is fine
+		cfg.K, cfg.M = *k, *m
+		router := core.New(cfg)
+		sess, err := n.NewSession(receiver, amount)
+		fatalIf(err)
+		start := time.Now()
+		if err := router.Route(sess); err != nil {
+			fmt.Printf("payment of %g to %d FAILED after %v: %v\n", amount, receiver, time.Since(start), err)
+			os.Exit(1)
+		}
+		fmt.Printf("payment of %g to %d delivered in %v over %d path(s), %d probe messages\n",
+			amount, receiver, time.Since(start), sess.PathsUsed(), sess.ProbeMessages())
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("flashnode: shutting down")
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flashnode:", err)
+		os.Exit(1)
+	}
+}
+
+func loadTopology(path string) (*topo.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return topo.ReadEdgeList(f)
+}
+
+func loadPeers(path string) (map[topo.NodeID]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	peers := make(map[topo.NodeID]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var id topo.NodeID
+		var addr string
+		if _, err := fmt.Sscanf(line, "%d %s", &id, &addr); err != nil {
+			return nil, fmt.Errorf("peers file: %q: %w", line, err)
+		}
+		peers[id] = addr
+	}
+	return peers, sc.Err()
+}
+
+// loadChannels applies the channel lines adjacent to node n.
+func loadChannels(n *node.Node, g *topo.Graph, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var a, b topo.NodeID
+		var balAB, balBA, feeAB, feeBA float64
+		cnt, err := fmt.Sscanf(line, "%d %d %f %f %f %f", &a, &b, &balAB, &balBA, &feeAB, &feeBA)
+		if err != nil && cnt < 4 {
+			return fmt.Errorf("channels file: %q: %w", line, err)
+		}
+		switch n.ID() {
+		case a:
+			if err := n.SetChannel(b, balAB, balBA, pcn.FeeSchedule{Rate: feeAB}, pcn.FeeSchedule{Rate: feeBA}); err != nil {
+				return err
+			}
+		case b:
+			if err := n.SetChannel(a, balBA, balAB, pcn.FeeSchedule{Rate: feeBA}, pcn.FeeSchedule{Rate: feeAB}); err != nil {
+				return err
+			}
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,80 @@
+// Command tracegen generates a synthetic payment trace and reports the
+// statistics the paper measures on the real Ripple and Bitcoin traces
+// (§2.2): the payment-size CDF and heavy-tail share (Figure 3) and the
+// recurrence statistics (Figure 4).
+//
+// Examples:
+//
+//	tracegen -sizes ripple -n 100000
+//	tracegen -sizes bitcoin -n 100000 -cdf 20
+//	tracegen -recurrence -days 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 100000, "number of payments to generate")
+		sizes      = flag.String("sizes", "ripple", "size model: ripple or bitcoin")
+		nodes      = flag.Int("nodes", 1000, "node ID space")
+		seed       = flag.Int64("seed", 1, "random seed")
+		cdfPoints  = flag.Int("cdf", 0, "print this many CDF points (0 = skip)")
+		recurrence = flag.Bool("recurrence", false, "report Figure 4 recurrence statistics")
+		days       = flag.Int("days", 10, "days of trace for -recurrence (2000 payments/day)")
+	)
+	flag.Parse()
+
+	cfg := trace.DefaultConfig(*nodes)
+	cfg.Seed = *seed
+	switch *sizes {
+	case "ripple":
+		cfg.Sizes = trace.RippleSizes
+	case "bitcoin":
+		cfg.Sizes = trace.BitcoinSizes
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown size model %q\n", *sizes)
+		os.Exit(1)
+	}
+
+	count := *n
+	if *recurrence {
+		count = *days * cfg.PaymentsPerDay
+	}
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	payments := gen.Generate(count)
+
+	st := trace.AnalyzeSizes(payments)
+	fmt.Printf("# Figure 3 statistics (%s, %d payments)\n", cfg.Sizes.Name, count)
+	fmt.Printf("median size:       %.4g\n", st.Median)
+	fmt.Printf("p90 size:          %.4g\n", st.P90)
+	fmt.Printf("top-10%% vol share: %.1f%%   (paper: 94.5%% Ripple / 94.7%% Bitcoin)\n", 100*st.Top10Share)
+	fmt.Printf("total volume:      %.4g\n", st.TotalVolume)
+
+	if *cdfPoints > 0 {
+		fmt.Printf("\n# size CDF (%d points): value probability\n", *cdfPoints)
+		for _, pt := range trace.SizeCDF(payments).Points(*cdfPoints) {
+			fmt.Printf("%.6g %.4f\n", pt[0], pt[1])
+		}
+	}
+
+	if *recurrence {
+		fracs := trace.RecurringPerDay(payments)
+		shares := trace.Top5RecurringShare(payments)
+		fmt.Printf("\n# Figure 4 statistics (%d days)\n", len(fracs))
+		fmt.Printf("recurring fraction/day:  median %.1f%% (min %.1f%%, max %.1f%%)   (paper: median 86%%)\n",
+			100*stats.Median(fracs), 100*stats.Summarize(fracs).Min, 100*stats.Summarize(fracs).Max)
+		fmt.Printf("top-5 recurring share:   median %.1f%%   (paper: >70%%)\n",
+			100*stats.Median(shares))
+	}
+}

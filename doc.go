@@ -1,0 +1,49 @@
+// Package flash is a from-scratch Go reproduction of "Flash: Efficient
+// Dynamic Routing for Offchain Networks" (Wang, Xu, Jin, Wang —
+// CoNEXT 2019).
+//
+// Flash is a routing protocol for payment channel networks (PCNs) that
+// differentiates elephant payments from mice payments: elephants run a
+// probe-bounded max-flow search followed by a fee-minimising linear
+// program; mice are routed from a small per-receiver table of cached
+// shortest paths with probe-on-failure trial and error.
+//
+// This package is the public facade over the implementation packages:
+//
+//	internal/topo      topology model and generators (Watts–Strogatz,
+//	                   Barabási–Albert, Ripple-/Lightning-like)
+//	internal/graph     BFS, Yen k-shortest paths, edge-disjoint paths,
+//	                   Edmonds–Karp max-flow
+//	internal/pcn       channel network state: balances, holds, atomic
+//	                   multi-path commit, probing
+//	internal/lp        two-phase simplex for the fee program
+//	internal/route     the Session/Router seam shared by the simulator
+//	                   and the TCP testbed
+//	internal/core      the Flash router (the paper's contribution)
+//	internal/baseline  Spider, SpeedyMurmurs, ShortestPath, full-probe
+//	                   max-flow
+//	internal/trace     calibrated synthetic workloads (Ripple/Bitcoin)
+//	internal/sim       simulation engine and experiment scenarios
+//	internal/wire      the prototype's wire format (paper Table 1)
+//	internal/node      TCP protocol node (probe + two-phase commit)
+//	internal/testbed   local multi-process-style cluster harness
+//
+// # Quick start
+//
+//	g := flash.NewGraph(3)
+//	g.MustAddChannel(0, 1)
+//	g.MustAddChannel(1, 2)
+//	net := flash.NewNetwork(g)
+//	net.SetBalance(0, 1, 100, 100)
+//	net.SetBalance(1, 2, 100, 100)
+//
+//	router := flash.NewFlash(flash.DefaultConfig(50)) // payments >50 are elephants
+//	tx, _ := net.Begin(0, 2, 80)
+//	if err := router.Route(tx); err == nil {
+//	    fmt.Println("delivered 80 across", tx.PathsUsed(), "path(s)")
+//	}
+//
+// See the examples directory for runnable programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-versus-measured
+// record of every figure.
+package flash

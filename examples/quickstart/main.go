@@ -1,0 +1,73 @@
+// Quickstart: build a small payment channel network, route one payment
+// with Flash, and inspect the result.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flash "repro"
+)
+
+func main() {
+	// A diamond network: two 2-hop routes from Alice (0) to Dave (3).
+	//
+	//        Bob (1)
+	//       /        \
+	//  Alice (0)    Dave (3)
+	//       \        /
+	//       Carol (2)
+	g := flash.NewGraph(4)
+	g.MustAddChannel(0, 1)
+	g.MustAddChannel(1, 3)
+	g.MustAddChannel(0, 2)
+	g.MustAddChannel(2, 3)
+
+	// Fund every channel with 60 per direction and give the Bob route a
+	// steeper fee than the Carol route.
+	net := flash.NewNetwork(g)
+	for _, e := range g.Channels() {
+		if err := net.SetBalance(e.A, e.B, 60, 60); err != nil {
+			log.Fatal(err)
+		}
+	}
+	net.SetFee(0, 1, flash.FeeSchedule{Rate: 0.02})
+	net.SetFee(1, 3, flash.FeeSchedule{Rate: 0.02})
+	net.SetFee(0, 2, flash.FeeSchedule{Rate: 0.001})
+	net.SetFee(2, 3, flash.FeeSchedule{Rate: 0.001})
+
+	// A Flash router: payments above 50 run the elephant pipeline
+	// (modified max-flow probing + fee-minimising split); smaller ones
+	// use the mice routing table.
+	router := flash.NewFlash(flash.DefaultConfig(50))
+
+	// Pay 100 — more than any single path can carry, so Flash must
+	// split it across both routes, preferring the cheap one.
+	tx, err := net.Begin(0, 3, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := router.Route(tx); err != nil {
+		log.Fatalf("payment failed: %v", err)
+	}
+
+	fmt.Printf("delivered 100 from node 0 to node 3\n")
+	fmt.Printf("  paths used:       %d\n", tx.PathsUsed())
+	fmt.Printf("  probe messages:   %d\n", tx.ProbeMessages())
+	fmt.Printf("  fees paid:        %.3f\n", tx.FeesPaid())
+	fmt.Printf("  cheap route load: %.0f (of 60)\n", 60-net.Balance(0, 2))
+	fmt.Printf("  steep route load: %.0f (of 60)\n", 60-net.Balance(0, 1))
+
+	// A small recurring payment now rides the mice routing table: no
+	// probing at all on a first-try success.
+	mouse, _ := net.Begin(0, 3, 2)
+	if err := router.Route(mouse); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mouse payment: %d probe messages (routing-table hit)\n",
+		mouse.ProbeMessages())
+}

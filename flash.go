@@ -1,0 +1,228 @@
+package flash
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/htlc"
+	"repro/internal/node"
+	"repro/internal/pcn"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Topology and network state.
+type (
+	// NodeID identifies a node in a topology.
+	NodeID = topo.NodeID
+	// Graph is the channel connectivity topology.
+	Graph = topo.Graph
+	// Edge is one undirected payment channel.
+	Edge = topo.Edge
+	// Network is a funded payment channel network.
+	Network = pcn.Network
+	// Tx is an in-memory payment session (implements Session).
+	Tx = pcn.Tx
+	// FeeSchedule is a channel direction's forwarding fee.
+	FeeSchedule = pcn.FeeSchedule
+	// HopInfo is the result of probing one hop.
+	HopInfo = pcn.HopInfo
+)
+
+// Routing.
+type (
+	// Session is a payment in flight: probe, hold, commit/abort.
+	Session = route.Session
+	// Router is any routing algorithm driving Sessions.
+	Router = route.Router
+	// Flash is the paper's router (elephant/mice differentiation).
+	Flash = core.Flash
+	// Config parameterises the Flash router.
+	Config = core.Config
+	// RouterStats are Flash's internal counters.
+	RouterStats = core.Stats
+)
+
+// Workloads and evaluation.
+type (
+	// Payment is one transaction of a workload.
+	Payment = trace.Payment
+	// SizeModel is a heavy-tailed payment-size mixture.
+	SizeModel = trace.SizeModel
+	// TraceConfig parameterises workload generation.
+	TraceConfig = trace.Config
+	// TraceGenerator produces reproducible payment streams.
+	TraceGenerator = trace.Generator
+	// Metrics aggregates a simulation or testbed run.
+	Metrics = sim.Metrics
+	// Scenario describes one experiment cell.
+	Scenario = sim.Scenario
+	// SchemeResult is per-scheme metrics across runs.
+	SchemeResult = sim.SchemeResult
+	// Summary is a min/mean/max aggregate.
+	Summary = stats.Summary
+)
+
+// Topology maintenance (gossip) and payment security (HTLC) — the two
+// layers the paper assumes (§2.1, §3.1); built here so the repository
+// covers the full system.
+type (
+	// GossipPeer floods channel open/close/fee events and maintains an
+	// eventually consistent local View.
+	GossipPeer = gossip.Peer
+	// GossipView is a node's local belief about the topology.
+	GossipView = gossip.View
+	// GossipEvent is one channel lifecycle announcement.
+	GossipEvent = gossip.Event
+	// HTLCLedger manages hash time-locked contracts over a Network.
+	HTLCLedger = htlc.Ledger
+	// HTLCChain is the logical block-height clock HTLC expiries use.
+	HTLCChain = htlc.Chain
+	// HTLCPayment is a multi-hop chain of hash-locked contracts.
+	HTLCPayment = htlc.Payment
+	// Secret is an HTLC preimage; its SHA-256 hash locks contracts.
+	Secret = htlc.Secret
+)
+
+// NewGossipPeer creates a gossiping participant over an n-node ID
+// space; ConnectPeers joins two peers that share a channel.
+func NewGossipPeer(id NodeID, n int) *GossipPeer { return gossip.NewPeer(id, n) }
+
+// ConnectPeers makes two gossip peers neighbours.
+func ConnectPeers(a, b *GossipPeer) { gossip.Connect(a, b) }
+
+// NewHTLCLedger creates an HTLC ledger over net, timed by chain.
+func NewHTLCLedger(net *Network, chain *HTLCChain) *HTLCLedger { return htlc.NewLedger(net, chain) }
+
+// SetupHTLCPayment locks a hash time-locked contract on every hop of
+// path (expiries decreasing towards the receiver).
+func SetupHTLCPayment(l *HTLCLedger, path []NodeID, amount float64, hash htlc.Hash, delta int64) (*HTLCPayment, error) {
+	return htlc.Setup(l, path, amount, hash, delta)
+}
+
+// Testbed.
+type (
+	// Node is a TCP protocol endpoint (paper §5.1 prototype).
+	Node = node.Node
+	// NodeConfig configures a testbed node.
+	NodeConfig = node.Config
+	// NodeSession is a payment session over TCP (implements Session).
+	NodeSession = node.Session
+	// Cluster is a set of running TCP nodes.
+	Cluster = testbed.Cluster
+	// RouterFactory builds each node's router in a testbed run.
+	RouterFactory = testbed.RouterFactory
+)
+
+// Scheme names accepted by NewRouterByName.
+const (
+	SchemeFlash         = sim.SchemeFlash
+	SchemeFlashNoOpt    = sim.SchemeFlashNoOpt
+	SchemeSpider        = sim.SchemeSpider
+	SchemeSpeedyMurmurs = sim.SchemeSpeedyMurmurs
+	SchemeShortestPath  = sim.SchemeShortestPath
+	SchemeMaxFlow       = sim.SchemeMaxFlow
+)
+
+// NewGraph returns an empty topology with n nodes.
+func NewGraph(n int) *Graph { return topo.New(n) }
+
+// NewNetwork returns an unfunded network over g.
+func NewNetwork(g *Graph) *Network { return pcn.New(g) }
+
+// DefaultConfig returns the paper's Flash parameters (k=20, m=4) with
+// the given elephant threshold.
+func DefaultConfig(threshold float64) Config { return core.DefaultConfig(threshold) }
+
+// NewFlash builds the Flash router.
+func NewFlash(cfg Config) *Flash { return core.New(cfg) }
+
+// ThresholdForMiceFraction computes the elephant threshold that makes
+// the given fraction of amounts mice (the paper uses 0.9).
+func ThresholdForMiceFraction(amounts []float64, frac float64) float64 {
+	return core.ThresholdForMiceFraction(amounts, frac)
+}
+
+// Baseline routers (paper §4.1).
+func NewShortestPath() Router               { return baseline.NewShortestPath() }
+func NewSpider(paths int) Router            { return baseline.NewSpider(paths) }
+func NewSpeedyMurmurs(landmarks int) Router { return baseline.NewSpeedyMurmurs(landmarks) }
+func NewMaxFlowFullProbe() Router           { return baseline.NewMaxFlowFullProbe() }
+
+// NewRouterByName builds any scheme by its experiment name.
+func NewRouterByName(name string, threshold float64, seed int64) (Router, error) {
+	return sim.NewRouter(name, threshold, 0, 0, false, seed)
+}
+
+// Topology generators.
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) (*Graph, error) {
+	return topo.WattsStrogatz(n, k, beta, rng)
+}
+func BarabasiAlbert(n, m int, rng *rand.Rand) (*Graph, error) {
+	return topo.BarabasiAlbert(n, m, rng)
+}
+func RippleLike(n int, rng *rand.Rand) (*Graph, error)    { return topo.RippleLike(n, rng) }
+func LightningLike(n int, rng *rand.Rand) (*Graph, error) { return topo.LightningLike(n, rng) }
+
+// Size models calibrated to the paper's trace statistics.
+var (
+	RippleSizes  = trace.RippleSizes
+	BitcoinSizes = trace.BitcoinSizes
+)
+
+// NewTraceGenerator builds a workload generator.
+func NewTraceGenerator(cfg TraceConfig) (*TraceGenerator, error) { return trace.NewGenerator(cfg) }
+
+// DefaultTraceConfig is a Ripple-like workload over n nodes.
+func DefaultTraceConfig(n int) TraceConfig { return trace.DefaultConfig(n) }
+
+// RunSimulation replays payments sequentially over net with router r.
+func RunSimulation(net *Network, r Router, payments []Payment, miceThreshold float64) (Metrics, error) {
+	return sim.Run(net, r, payments, miceThreshold)
+}
+
+// DefaultScenario is the paper's base experiment cell for a topology
+// kind ("ripple", "lightning" or "testbed").
+func DefaultScenario(kind string, nodes int) Scenario { return sim.DefaultScenario(kind, nodes) }
+
+// RunScenario executes an experiment cell across schemes and runs.
+func RunScenario(sc Scenario) ([]SchemeResult, error) { return sim.RunScenario(sc) }
+
+// BuildNetwork constructs a funded network for an experiment kind.
+func BuildNetwork(kind string, nodes int, scale float64, seed int64) (*Network, error) {
+	return sim.BuildNetwork(kind, nodes, scale, 0, 0, seed)
+}
+
+// NewNode boots a TCP protocol node.
+func NewNode(cfg NodeConfig) (*Node, error) { return node.New(cfg) }
+
+// NewCluster boots one TCP node per topology vertex on loopback.
+func NewCluster(g *Graph, timeout time.Duration) (*Cluster, error) {
+	return testbed.NewCluster(g, timeout)
+}
+
+// Graph algorithms, exposed for building custom routing schemes on the
+// same substrate.
+
+// ShortestPath returns a minimum-hop path whose hops satisfy usable.
+func ShortestPath(g *Graph, s, t NodeID, usable func(u, v NodeID) bool) []NodeID {
+	return graph.ShortestPath(g, s, t, usable)
+}
+
+// KShortestPaths returns up to k loopless shortest paths (Yen).
+func KShortestPaths(g *Graph, s, t NodeID, k int) [][]NodeID {
+	return graph.YenKSP(g, s, t, k)
+}
+
+// EdgeDisjointPaths returns up to k channel-disjoint shortest paths.
+func EdgeDisjointPaths(g *Graph, s, t NodeID, k int) [][]NodeID {
+	return graph.EdgeDisjointPaths(g, s, t, k)
+}

@@ -1,0 +1,261 @@
+package flash_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	flash "repro"
+	"repro/internal/htlc"
+	"repro/internal/trace"
+)
+
+// TestEndToEndSimulation drives the public API through a full
+// mini-evaluation: network construction, workload generation, routing
+// with every scheme, and metric collection.
+func TestEndToEndSimulation(t *testing.T) {
+	net, err := flash.BuildNetwork("ripple", 150, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := flash.DefaultTraceConfig(150)
+	cfg.Graph = net.Graph()
+	cfg.Seed = 42
+	gen, err := flash.NewTraceGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payments := gen.Generate(400)
+	threshold := flash.ThresholdForMiceFraction(trace.Amounts(payments), 0.9)
+
+	snap := net.Snapshot()
+	volumes := map[string]float64{}
+	for _, scheme := range []string{flash.SchemeFlash, flash.SchemeSpider,
+		flash.SchemeSpeedyMurmurs, flash.SchemeShortestPath} {
+		if err := net.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		r, err := flash.NewRouterByName(scheme, threshold, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := flash.RunSimulation(net, r, payments, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Payments == 0 {
+			t.Fatalf("%s: no payments", scheme)
+		}
+		volumes[scheme] = m.SuccessVolume
+	}
+	if volumes[flash.SchemeFlash] < volumes[flash.SchemeShortestPath] {
+		t.Errorf("Flash (%.4g) should beat ShortestPath (%.4g) on volume",
+			volumes[flash.SchemeFlash], volumes[flash.SchemeShortestPath])
+	}
+}
+
+// TestSimulatorTestbedAgreement routes the same payments over the same
+// starting state twice — once in memory, once over real TCP nodes — and
+// requires identical success/failure outcomes (both substrates
+// implement the same protocol semantics). ShortestPath is used because
+// it is deterministic.
+func TestSimulatorTestbedAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := flash.WattsStrogatz(12, 4, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := flash.NewNetwork(g)
+	balRNG := rand.New(rand.NewSource(12))
+	for _, e := range g.Channels() {
+		total := 1000 + balRNG.Float64()*500
+		if err := net.SetBalance(e.A, e.B, total/2, total/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cluster, err := flash.NewCluster(g, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.FromNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := flash.DefaultTraceConfig(12)
+	cfg.Graph = g
+	cfg.Seed = 13
+	gen, err := flash.NewTraceGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payments := gen.Generate(60)
+
+	for i, p := range payments {
+		if p.Sender == p.Receiver {
+			continue
+		}
+		simRouter, _ := flash.NewRouterByName(flash.SchemeShortestPath, 0, 1)
+		tx, err := net.Begin(p.Sender, p.Receiver, p.Amount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simErr := simRouter.Route(tx)
+
+		tbRouter, _ := flash.NewRouterByName(flash.SchemeShortestPath, 0, 1)
+		sess, err := cluster.Node(p.Sender).NewSession(p.Receiver, p.Amount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbErr := tbRouter.Route(sess)
+
+		if (simErr == nil) != (tbErr == nil) {
+			t.Fatalf("payment %d (%d→%d, %.2f): sim err=%v, testbed err=%v",
+				i, p.Sender, p.Receiver, p.Amount, simErr, tbErr)
+		}
+	}
+	// Final states must agree channel by channel.
+	if err := cluster.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Channels() {
+		simAB := net.Balance(e.A, e.B)
+		tbAB, _ := cluster.Node(e.A).Balances(e.B)
+		if math.Abs(simAB-tbAB) > 1e-6 {
+			t.Fatalf("channel %v: sim %v vs testbed %v", e, simAB, tbAB)
+		}
+	}
+}
+
+// TestScenarioHeadline runs a small Figure-6 cell and checks the
+// paper's core comparative claims hold: Flash ≥ Spider on success
+// volume, and Flash probes less than Spider.
+func TestScenarioHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline scenario skipped in -short mode")
+	}
+	sc := flash.DefaultScenario("ripple", 300)
+	sc.Txns = 800
+	sc.Runs = 2
+	results, err := flash.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]flash.SchemeResult{}
+	for _, r := range results {
+		byName[r.Scheme] = r
+	}
+	vol := func(s string) float64 {
+		return byName[s].Mean(func(m flash.Metrics) float64 { return m.SuccessVolume })
+	}
+	probes := func(s string) float64 {
+		return byName[s].Mean(func(m flash.Metrics) float64 { return float64(m.ProbeMessages) })
+	}
+	if vol(flash.SchemeFlash) < vol(flash.SchemeSpider) {
+		t.Errorf("Flash volume %.4g below Spider %.4g", vol(flash.SchemeFlash), vol(flash.SchemeSpider))
+	}
+	if probes(flash.SchemeFlash) >= probes(flash.SchemeSpider) {
+		t.Errorf("Flash probes %.0f not below Spider %.0f", probes(flash.SchemeFlash), probes(flash.SchemeSpider))
+	}
+	if probes(flash.SchemeSpeedyMurmurs) != 0 || probes(flash.SchemeShortestPath) != 0 {
+		t.Error("static schemes must not probe")
+	}
+}
+
+// TestGraphAlgorithmsExposed sanity-checks the re-exported algorithms.
+func TestGraphAlgorithmsExposed(t *testing.T) {
+	g := flash.NewGraph(4)
+	g.MustAddChannel(0, 1)
+	g.MustAddChannel(1, 3)
+	g.MustAddChannel(0, 2)
+	g.MustAddChannel(2, 3)
+	if p := flash.ShortestPath(g, 0, 3, nil); len(p) != 3 {
+		t.Errorf("ShortestPath = %v", p)
+	}
+	if ps := flash.KShortestPaths(g, 0, 3, 5); len(ps) != 2 {
+		t.Errorf("KShortestPaths found %d paths, want 2", len(ps))
+	}
+	if ps := flash.EdgeDisjointPaths(g, 0, 3, 5); len(ps) != 2 {
+		t.Errorf("EdgeDisjointPaths found %d, want 2", len(ps))
+	}
+}
+
+// ExampleNewFlash demonstrates the quickstart flow.
+func ExampleNewFlash() {
+	g := flash.NewGraph(3)
+	g.MustAddChannel(0, 1)
+	g.MustAddChannel(1, 2)
+	net := flash.NewNetwork(g)
+	net.SetBalance(0, 1, 100, 100)
+	net.SetBalance(1, 2, 100, 100)
+
+	router := flash.NewFlash(flash.DefaultConfig(50))
+	tx, err := net.Begin(0, 2, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := router.Route(tx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered 80 over %d path(s)\n", tx.PathsUsed())
+	// Output: delivered 80 over 1 path(s)
+}
+
+// ExampleThresholdForMiceFraction shows workload-driven thresholding.
+func ExampleThresholdForMiceFraction() {
+	amounts := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1000}
+	fmt.Println(flash.ThresholdForMiceFraction(amounts, 0.9))
+	// Output: 9
+}
+
+// TestGossipAndHTLCFacade exercises the topology-maintenance and
+// payment-security layers through the public API.
+func TestGossipAndHTLCFacade(t *testing.T) {
+	g := flash.NewGraph(3)
+	g.MustAddChannel(0, 1)
+	g.MustAddChannel(1, 2)
+	net := flash.NewNetwork(g)
+	net.SetBalance(0, 1, 100, 100)
+	net.SetBalance(1, 2, 100, 100)
+
+	// Gossip: three peers learn the topology from announcements.
+	peers := []*flash.GossipPeer{
+		flash.NewGossipPeer(0, 3), flash.NewGossipPeer(1, 3), flash.NewGossipPeer(2, 3),
+	}
+	flash.ConnectPeers(peers[0], peers[1])
+	flash.ConnectPeers(peers[1], peers[2])
+	peers[0].AnnounceOpen(1)
+	peers[1].AnnounceOpen(2)
+	if peers[2].View().NumOpen() != 2 {
+		t.Fatalf("peer 2 view has %d channels, want 2", peers[2].View().NumOpen())
+	}
+	path := flash.ShortestPath(peers[0].View().Graph(), 0, 2, nil)
+	if len(path) != 3 {
+		t.Fatalf("view path = %v", path)
+	}
+
+	// HTLC: settle a payment along the gossip-discovered path.
+	chain := &flash.HTLCChain{}
+	ledger := flash.NewHTLCLedger(net, chain)
+	secret, err := htlc.NewSecret(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payment, err := flash.SetupHTLCPayment(ledger, path, 25, secret.Hash(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := payment.ClaimAll(secret); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Balance(2, 1); math.Abs(got-125) > 1e-9 {
+		t.Errorf("receiver balance = %v, want 125", got)
+	}
+	if ledger.Escrow() != 0 {
+		t.Errorf("escrow = %v, want 0", ledger.Escrow())
+	}
+}

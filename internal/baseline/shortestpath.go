@@ -1,0 +1,49 @@
+// Package baseline implements the routing schemes the paper compares
+// Flash against (§4.1):
+//
+//   - ShortestPath — the static single-path baseline ("SP uses the path
+//     with the fewest hops between the sender and receiver").
+//   - Spider — the state-of-the-art dynamic scheme: waterfilling over 4
+//     edge-disjoint shortest paths (Sivaraman et al.).
+//   - SpeedyMurmurs — embedding-based routing over landmark spanning
+//     trees with greedy distance-decreasing forwarding (Roos et al.).
+//   - MaxFlowFullProbe — classic Edmonds–Karp with whole-network
+//     probing, the unmodified algorithm Flash's Algorithm 1 descends
+//     from (used by the probing-overhead ablation).
+//
+// All of them implement route.Router and run on the same Session
+// abstraction as Flash, in both the simulator and the TCP testbed.
+package baseline
+
+import (
+	"repro/internal/graph"
+	"repro/internal/route"
+)
+
+// ShortestPath routes every payment in full over the minimum-hop path,
+// with no probing and no multipath. It is the paper's "SP" baseline.
+type ShortestPath struct{}
+
+// NewShortestPath returns the SP baseline router.
+func NewShortestPath() *ShortestPath { return &ShortestPath{} }
+
+// Name implements route.Router.
+func (sp *ShortestPath) Name() string { return "ShortestPath" }
+
+// Route implements route.Router.
+func (sp *ShortestPath) Route(s route.Session) error {
+	path := graph.ShortestPath(s.Graph(), s.Sender(), s.Receiver(), nil)
+	if path == nil {
+		if err := s.Abort(); err != nil {
+			return err
+		}
+		return route.ErrNoRoute
+	}
+	if err := s.Hold(path, s.Demand()); err != nil {
+		if aerr := s.Abort(); aerr != nil {
+			return aerr
+		}
+		return route.ErrInsufficent
+	}
+	return s.Commit()
+}

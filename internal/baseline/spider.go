@@ -1,0 +1,179 @@
+package baseline
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+// Spider is the paper's state-of-the-art comparison point (§4.1): for
+// every payment it probes a fixed set of edge-disjoint shortest paths
+// and splits the payment across them with a waterfilling heuristic,
+// "balancing paths by using those with maximum available capacity".
+//
+// Spider treats all payments identically — it probes its paths on every
+// payment, which is exactly the overhead Flash's mice routing avoids
+// (Figure 8).
+type Spider struct {
+	numPaths int
+	noCache  bool
+
+	mu    sync.Mutex
+	graph *topo.Graph // cache key: path sets are static per topology
+	cache map[pairKey][][]topo.NodeID
+}
+
+type pairKey struct {
+	s, t topo.NodeID
+}
+
+// NewSpider returns a Spider router using numPaths edge-disjoint
+// shortest paths (the paper uses 4).
+func NewSpider(numPaths int) *Spider {
+	if numPaths < 1 {
+		numPaths = 1
+	}
+	return &Spider{numPaths: numPaths, cache: make(map[pairKey][][]topo.NodeID)}
+}
+
+// SetCaching toggles memoisation of path sets per sender/receiver pair.
+// Caching never changes routing outcomes (the path set depends only on
+// the topology); it only removes repeated computation. The testbed
+// disables it to reproduce the paper's processing-delay comparison,
+// where Spider recomputes its paths for every payment.
+func (sp *Spider) SetCaching(on bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.noCache = !on
+}
+
+// Name implements route.Router.
+func (sp *Spider) Name() string { return "Spider" }
+
+// paths returns the (cached) edge-disjoint shortest path set for a
+// sender/receiver pair. Path sets depend only on topology, so they are
+// computed once — Spider's probing happens per payment, but its path
+// selection is static.
+func (sp *Spider) paths(g *topo.Graph, s, t topo.NodeID) [][]topo.NodeID {
+	sp.mu.Lock()
+	if sp.noCache {
+		sp.mu.Unlock()
+		return graph.EdgeDisjointPaths(g, s, t, sp.numPaths)
+	}
+	defer sp.mu.Unlock()
+	if sp.graph != g {
+		sp.graph = g
+		sp.cache = make(map[pairKey][][]topo.NodeID)
+	}
+	key := pairKey{s, t}
+	if p, ok := sp.cache[key]; ok {
+		return p
+	}
+	p := graph.EdgeDisjointPaths(g, s, t, sp.numPaths)
+	sp.cache[key] = p
+	return p
+}
+
+// Route implements route.Router: probe all paths, waterfill the demand
+// across their bottleneck capacities, hold, and commit.
+func (sp *Spider) Route(s route.Session) error {
+	paths := sp.paths(s.Graph(), s.Sender(), s.Receiver())
+	if len(paths) == 0 {
+		if err := s.Abort(); err != nil {
+			return err
+		}
+		return route.ErrNoRoute
+	}
+	caps := make([]float64, len(paths))
+	for i, p := range paths {
+		info, err := s.Probe(p)
+		if err != nil {
+			continue
+		}
+		caps[i] = route.MinAvailable(info)
+	}
+	alloc := Waterfill(caps, s.Demand())
+	if alloc == nil {
+		if err := s.Abort(); err != nil {
+			return err
+		}
+		return route.ErrInsufficent
+	}
+	remaining := s.Demand()
+	for i, amount := range alloc {
+		if amount <= route.Epsilon || remaining <= route.Epsilon {
+			continue
+		}
+		if amount > remaining {
+			amount = remaining
+		}
+		held := route.HoldUpTo(s, paths[i], amount)
+		remaining -= held
+	}
+	return route.Finish(s, route.ErrInsufficent)
+}
+
+// Waterfill splits demand across paths with the given capacities so
+// that the *remaining* capacities are as equal as possible: the
+// allocation is x_i = max(0, c_i − L) with the water level L chosen so
+// Σx_i = demand. Returns nil when Σc_i < demand (infeasible). This is
+// the waterfilling heuristic Spider uses to balance path utilisation.
+func Waterfill(caps []float64, demand float64) []float64 {
+	n := len(caps)
+	total := 0.0
+	for _, c := range caps {
+		total += c
+	}
+	if total < demand-route.Epsilon || n == 0 {
+		return nil
+	}
+	// Sort capacity indices descending; the level L sits between two
+	// consecutive capacities.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return caps[idx[a]] > caps[idx[b]] })
+
+	cum := 0.0
+	level := 0.0
+	for k := 1; k <= n; k++ {
+		cum += caps[idx[k-1]]
+		l := (cum - demand) / float64(k)
+		next := 0.0
+		if k < n {
+			next = caps[idx[k]]
+		}
+		if l >= next-route.Epsilon {
+			level = l
+			break
+		}
+	}
+	if level < 0 {
+		level = 0
+	}
+	alloc := make([]float64, n)
+	allocated := 0.0
+	for _, i := range idx {
+		x := caps[i] - level
+		if x < 0 {
+			x = 0
+		}
+		alloc[i] = x
+		allocated += x
+	}
+	// Normalise rounding drift so the allocation sums exactly to demand.
+	if allocated > 0 {
+		scale := demand / allocated
+		for i := range alloc {
+			alloc[i] *= scale
+			if alloc[i] > caps[i] {
+				alloc[i] = caps[i]
+			}
+		}
+	}
+	return alloc
+}

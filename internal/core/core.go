@@ -1,0 +1,213 @@
+// Package core implements Flash, the paper's routing algorithm for
+// offchain payment networks (§3).
+//
+// Flash differentiates elephant payments from mice payments:
+//
+//   - Elephants (amount > Config.Threshold) run a modified Edmonds–Karp
+//     search (paper Algorithm 1) that finds up to K candidate paths,
+//     probing channel balances lazily along each, then splits the
+//     payment across the paths with a fee-minimising linear program
+//     (paper program (1)).
+//   - Mice (everything else) are routed from a per-sender routing table
+//     holding the top-M Yen shortest paths per receiver, tried in random
+//     order with probe-on-failure partial payments.
+//
+// One Flash value serves any number of senders: routing tables are keyed
+// by sender, which makes the same instance usable by a whole simulated
+// network or by a single testbed node.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+// Config parameterises a Flash router. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// Threshold separates mice from elephants: payments with amount
+	// strictly greater are elephants. The paper sets it per workload so
+	// that 90% of payments are mice (§4.1). math.Inf(1) routes everything
+	// as mice; 0 routes everything as elephants.
+	Threshold float64
+
+	// K is the maximum number of candidate paths the elephant routing
+	// probes (paper Algorithm 1 input k; 20 in the evaluation).
+	K int
+
+	// M is the number of shortest paths kept per receiver in the mice
+	// routing table (paper m; 4 in the evaluation). M == 0 routes mice
+	// payments with the elephant algorithm — the Figure 11 upper bound.
+	M int
+
+	// DisableFeeOpt turns off the LP fee optimisation: paths are then
+	// filled sequentially in discovery order, the paper's Figure 9
+	// baseline ("w/o optimization").
+	DisableFeeOpt bool
+
+	// ProbeAllK makes elephant routing probe the full K candidate paths
+	// even after the accumulated flow covers the demand. Algorithm 1's
+	// printed pseudocode checks "f ≥ d" after the loop (always-k); the
+	// overhead discussion implies an early exit. The default is the
+	// early exit; this flag selects the always-k reading, giving the fee
+	// LP more slack at higher probing cost (see the ablation bench).
+	ProbeAllK bool
+
+	// FixedMiceOrder disables the random path order in mice routing and
+	// uses ascending path length instead (an ablation; the paper argues
+	// random order load-balances better, §3.3).
+	FixedMiceOrder bool
+
+	// TableTTL evicts a receiver's routing-table entry after this many
+	// payments routed by the owning sender without touching that entry
+	// (the paper's timeout mechanism, §3.3). 0 disables eviction.
+	TableTTL int
+
+	// Seed makes the router's random choices reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's evaluation settings, with the
+// elephant threshold supplied by the caller (it is workload-dependent:
+// the 90th percentile of payment sizes in the paper's runs).
+func DefaultConfig(threshold float64) Config {
+	return Config{
+		Threshold: threshold,
+		K:         20,
+		M:         4,
+		TableTTL:  50000,
+		Seed:      1,
+	}
+}
+
+// Flash is the routing algorithm. It is safe for concurrent use (the
+// testbed runs one router per node; the simulator shares one across
+// senders).
+type Flash struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	tables map[topo.NodeID]*routingTable
+
+	elephants     int64
+	mice          int64
+	tableHits     int64
+	tableMisses   int64
+	pathsReplaced int64
+}
+
+// New returns a Flash router with the given configuration. Invalid
+// values are normalised: K < 1 becomes 1, M < 0 becomes 0.
+func New(cfg Config) *Flash {
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	if cfg.M < 0 {
+		cfg.M = 0
+	}
+	return &Flash{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		tables: make(map[topo.NodeID]*routingTable),
+	}
+}
+
+// Name implements route.Router.
+func (f *Flash) Name() string { return "Flash" }
+
+// Config returns the router's configuration.
+func (f *Flash) Config() Config { return f.cfg }
+
+// Route implements route.Router: it classifies the payment and
+// dispatches to the elephant or mice algorithm, always finishing the
+// session.
+func (f *Flash) Route(s route.Session) error {
+	if f.isElephant(s.Demand()) || f.cfg.M == 0 {
+		f.mu.Lock()
+		f.elephants++
+		f.mu.Unlock()
+		return f.routeElephant(s)
+	}
+	f.mu.Lock()
+	f.mice++
+	f.mu.Unlock()
+	return f.routeMice(s)
+}
+
+// isElephant classifies a payment amount.
+func (f *Flash) isElephant(amount float64) bool {
+	return amount > f.cfg.Threshold
+}
+
+// Refresh drops all routing tables, as happens when the gossip layer
+// delivers an updated topology (§3.3: "all entries are re-computed using
+// the latest G").
+func (f *Flash) Refresh() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tables = make(map[topo.NodeID]*routingTable)
+}
+
+// Stats is a snapshot of the router's internal counters.
+type Stats struct {
+	Elephants     int64 // payments routed by the elephant algorithm
+	Mice          int64 // payments routed by the mice algorithm
+	TableHits     int64 // mice payments whose receiver was cached
+	TableMisses   int64 // mice payments requiring a Yen computation
+	PathsReplaced int64 // dead table paths replaced by the next Yen path
+	TableEntries  int   // receivers currently cached across all senders
+}
+
+// Stats returns a snapshot of the router's counters.
+func (f *Flash) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entries := 0
+	for _, t := range f.tables {
+		entries += len(t.entries)
+	}
+	return Stats{
+		Elephants:     f.elephants,
+		Mice:          f.mice,
+		TableHits:     f.tableHits,
+		TableMisses:   f.tableMisses,
+		PathsReplaced: f.pathsReplaced,
+		TableEntries:  entries,
+	}
+}
+
+// String describes the router and its parameters.
+func (f *Flash) String() string {
+	return fmt.Sprintf("Flash(k=%d, m=%d, threshold=%g, feeOpt=%v)",
+		f.cfg.K, f.cfg.M, f.cfg.Threshold, !f.cfg.DisableFeeOpt)
+}
+
+// ThresholdForMiceFraction returns the elephant threshold that makes the
+// given fraction of amounts mice: the frac-quantile of the amounts
+// (nearest rank). frac ≤ 0 makes every payment an elephant; frac ≥ 1
+// makes every payment a mouse.
+func ThresholdForMiceFraction(amounts []float64, frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 || len(amounts) == 0 {
+		return math.Inf(1)
+	}
+	sorted := append([]float64(nil), amounts...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(frac*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

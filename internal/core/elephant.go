@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/pcn"
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+// probedState is the sender's knowledge accumulated while running
+// Algorithm 1: the capacity matrix C (first-probe value per directed
+// hop), the residual matrix C′, and the fee schedules collected during
+// probing (§3.2: "The fee information is collected during the probing
+// process with the capacity information").
+type probedState struct {
+	capacity map[graph.DirEdge]float64 // C — probed capacity, set once
+	residual map[graph.DirEdge]float64 // C′ — capacity minus flow found so far
+	fees     map[graph.DirEdge]pcn.FeeSchedule
+}
+
+func newProbedState() *probedState {
+	return &probedState{
+		capacity: make(map[graph.DirEdge]float64),
+		residual: make(map[graph.DirEdge]float64),
+		fees:     make(map[graph.DirEdge]pcn.FeeSchedule),
+	}
+}
+
+// known reports whether hop e has been probed.
+func (ps *probedState) known(e graph.DirEdge) bool {
+	_, ok := ps.capacity[e]
+	return ok
+}
+
+// usable implements Algorithm 1's BFS filter: unknown hops are assumed
+// to have non-zero capacity ("our algorithm works without the capacity
+// matrix as input by assuming each channel has non-zero capacity"),
+// probed hops require positive residual.
+func (ps *probedState) usable(u, v topo.NodeID) bool {
+	if r, ok := ps.residual[graph.DirEdge{U: u, V: v}]; ok {
+		return r > route.Epsilon
+	}
+	return true
+}
+
+// elephantPlan is the outcome of the path-finding stage: candidate
+// paths, the flow each contributed during discovery, and the probed
+// state backing the LP.
+type elephantPlan struct {
+	paths     [][]topo.NodeID
+	pathFlows []float64 // bottleneck flow found on each path (discovery order)
+	state     *probedState
+	flow      float64 // total max-flow found = sum of pathFlows
+}
+
+// findElephantPaths is the paper's Algorithm 1 (modified Edmonds–Karp):
+// up to k BFS-shortest paths on the residual knowledge graph, probing
+// each discovered path to learn true capacities, stopping early once the
+// accumulated flow covers the demand.
+func (f *Flash) findElephantPaths(s route.Session, k int) *elephantPlan {
+	ps := newProbedState()
+	plan := &elephantPlan{state: ps}
+	g := s.Graph()
+	demand := s.Demand()
+
+	for len(plan.paths) < k {
+		p := graph.ShortestPath(g, s.Sender(), s.Receiver(), ps.usable)
+		if p == nil {
+			break
+		}
+		info, err := s.Probe(p)
+		if err != nil {
+			break
+		}
+		// Record first-probe capacities and fees (Algorithm 1 lines
+		// 17–22). Probing a hop reveals both directions of its channel:
+		// each on-path node knows the balance on both sides of its
+		// adjacent channels.
+		for i, e := range graph.PathEdges(p) {
+			if !ps.known(e) {
+				ps.capacity[e] = info[i].Available
+				ps.residual[e] = info[i].Available
+				ps.fees[e] = info[i].Fee
+			}
+			rev := e.Reverse()
+			if !ps.known(rev) {
+				ps.capacity[rev] = info[i].ReverseAvailable
+				ps.residual[rev] = info[i].ReverseAvailable
+				ps.fees[rev] = info[i].ReverseFee
+			}
+		}
+		// Bottleneck over the residual matrix (line 12).
+		c := math.Inf(1)
+		for _, e := range graph.PathEdges(p) {
+			if r := ps.residual[e]; r < c {
+				c = r
+			}
+		}
+		if c < 0 {
+			c = 0
+		}
+		// "It is thus possible, though rare ... that our algorithm finds
+		// a path but its effective capacity is zero after probing." Such
+		// a path still consumes one of the k iterations (line 10 adds p
+		// to P before probing), but contributes no flow.
+		plan.paths = append(plan.paths, p)
+		plan.pathFlows = append(plan.pathFlows, c)
+		if c > 0 {
+			// Residual update (lines 23–24): reduce along the path,
+			// credit the reverse direction.
+			for _, e := range graph.PathEdges(p) {
+				ps.residual[e] -= c
+				ps.residual[e.Reverse()] += c
+			}
+			plan.flow += c
+		}
+		if !f.cfg.ProbeAllK && plan.flow >= demand-route.Epsilon {
+			return plan
+		}
+	}
+	if plan.flow >= demand-route.Epsilon {
+		return plan
+	}
+	return nil // Algorithm 1 line 28: demand unsatisfiable with k paths
+}
+
+// routeElephant runs the full elephant pipeline: Algorithm 1 path
+// finding, then fee-minimising allocation (program (1)), then held
+// partial payments and the atomic commit.
+func (f *Flash) routeElephant(s route.Session) error {
+	plan := f.findElephantPaths(s, f.cfg.K)
+	if plan == nil {
+		if err := s.Abort(); err != nil {
+			return err
+		}
+		return route.ErrInsufficent
+	}
+
+	var alloc []float64
+	if f.cfg.DisableFeeOpt {
+		alloc = sequentialAllocation(plan, s.Demand())
+	} else {
+		alloc = f.optimizeAllocation(plan, s.Demand())
+	}
+
+	// Hold each positive allocation. HoldUpTo re-probes on rejection, so
+	// small discrepancies (e.g. LP offsets across shared channels, whose
+	// reverse-direction credit only materialises at commit time) degrade
+	// gracefully instead of failing outright.
+	remaining := s.Demand()
+	for i, amount := range alloc {
+		if amount <= route.Epsilon || remaining <= route.Epsilon {
+			continue
+		}
+		if amount > remaining {
+			amount = remaining
+		}
+		held := route.HoldUpTo(s, plan.paths[i], amount)
+		remaining -= held
+	}
+	// If rounding or offsets left a shortfall, top up along any path
+	// with residual room, in discovery order.
+	if remaining > route.Epsilon {
+		for _, p := range plan.paths {
+			if remaining <= route.Epsilon {
+				break
+			}
+			held := route.HoldUpTo(s, p, remaining)
+			remaining -= held
+		}
+	}
+	return route.Finish(s, route.ErrInsufficent)
+}
+
+// sequentialAllocation fills paths in discovery order with the flow each
+// contributed, stopping when the demand is met — the paper's Figure 9
+// baseline ("the paths are used sequentially as they are found by our
+// modified Edmonds-Karp algorithm until the demand is met").
+func sequentialAllocation(plan *elephantPlan, demand float64) []float64 {
+	alloc := make([]float64, len(plan.paths))
+	remaining := demand
+	for i, flow := range plan.pathFlows {
+		if remaining <= route.Epsilon {
+			break
+		}
+		amount := math.Min(flow, remaining)
+		alloc[i] = amount
+		remaining -= amount
+	}
+	return alloc
+}
+
+// optimizeAllocation solves the paper's program (1):
+//
+//	min  Σ_p Σ_{(u,v)∈p} a^p_{u,v}·f_{u,v}(r_p)
+//	s.t. Σ_p r_p = d
+//	     Σ_p r_p·a^p_{u,v} − Σ_p r_p·a^p_{v,u} ≤ C(u,v)   ∀(u,v)
+//	     r_p ≥ 0
+//
+// For the linear fee schedules used in practice the objective reduces to
+// Σ_p r_p·rate_p with rate_p the sum of hop rates, making this an LP.
+// Falls back to the sequential allocation if the solver fails (which can
+// only happen through numerical pathology, since the discovery flows are
+// themselves a feasible point).
+func (f *Flash) optimizeAllocation(plan *elephantPlan, demand float64) []float64 {
+	n := len(plan.paths)
+	// Objective: per-unit fee rate of each path.
+	c := make([]float64, n)
+	for i, p := range plan.paths {
+		rate := 0.0
+		for _, e := range graph.PathEdges(p) {
+			rate += plan.state.fees[e].Rate
+		}
+		c[i] = rate
+	}
+	// Channel constraints: one row per directed hop appearing on any
+	// path, with +1 for paths using it forward and −1 for paths using
+	// the reverse direction (offsets, per the paper).
+	hopRows := make(map[graph.DirEdge]int)
+	var aub [][]float64
+	var bub []float64
+	rowFor := func(e graph.DirEdge) int {
+		if idx, ok := hopRows[e]; ok {
+			return idx
+		}
+		idx := len(aub)
+		hopRows[e] = idx
+		aub = append(aub, make([]float64, n))
+		bub = append(bub, plan.state.capacity[e])
+		return idx
+	}
+	for i, p := range plan.paths {
+		for _, e := range graph.PathEdges(p) {
+			aub[rowFor(e)][i] += 1
+			if plan.state.known(e.Reverse()) {
+				aub[rowFor(e.Reverse())][i] -= 1
+			}
+		}
+	}
+	eq := make([]float64, n)
+	for i := range eq {
+		eq[i] = 1
+	}
+	sol, err := lp.Solve(lp.Problem{
+		C:   c,
+		Aub: aub,
+		Bub: bub,
+		Aeq: [][]float64{eq},
+		Beq: []float64{demand},
+	})
+	if err != nil {
+		return sequentialAllocation(plan, demand)
+	}
+	return sol.X
+}

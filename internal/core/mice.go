@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+// replacementPool is how many Yen paths beyond M are computed on a
+// routing-table miss, to serve as cheap replacements when a cached path
+// dies ("Flash replaces it with the next top shortest path", §3.3).
+// Computing them up front bounds per-payment path-finding work: a
+// replacement is a pop from the pool, never a fresh Yen run.
+const replacementPool = 4
+
+// routingTable is one sender's cache of paths to its recurring
+// receivers (§3.3). clock counts payments routed by this sender and
+// drives TTL eviction.
+type routingTable struct {
+	entries map[topo.NodeID]*tableEntry
+	clock   int
+}
+
+// tableEntry caches the top-m shortest paths to one receiver. all is
+// the extended Yen list (computed once, lazily, on the first dead-path
+// replacement): the topology is static, so the candidate paths for a
+// pair never change — only which of them currently have balance — and
+// replacements cycle through all via cursor without re-running Yen.
+type tableEntry struct {
+	paths      [][]topo.NodeID
+	all        [][]topo.NodeID // extended Yen list, nil until first needed
+	cursor     int             // rotation position within all
+	lastAccess int
+}
+
+// table returns (creating if needed) the routing table of sender.
+// Callers must hold f.mu.
+func (f *Flash) table(sender topo.NodeID) *routingTable {
+	t, ok := f.tables[sender]
+	if !ok {
+		t = &routingTable{entries: make(map[topo.NodeID]*tableEntry)}
+		f.tables[sender] = t
+	}
+	return t
+}
+
+// lookupPaths returns the cached paths for (sender, receiver),
+// computing the top-M Yen shortest paths on a miss ("Upon seeing a new
+// receiver that does not exist in the routing table, the node computes
+// top-m shortest paths"). It also advances the TTL clock and evicts
+// stale entries.
+func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID) *tableEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := f.table(sender)
+	t.clock++
+	if f.cfg.TableTTL > 0 {
+		for r, e := range t.entries {
+			if t.clock-e.lastAccess > f.cfg.TableTTL {
+				delete(t.entries, r)
+			}
+		}
+	}
+	if e, ok := t.entries[receiver]; ok {
+		e.lastAccess = t.clock
+		f.tableHits++
+		return e
+	}
+	f.tableMisses++
+	// A miss computes exactly the paper's top-m paths; the replacement
+	// pool is only materialised when a path actually dies (most entries
+	// never need one, so the common case stays cheap).
+	e := &tableEntry{
+		paths:      graph.YenKSP(g, sender, receiver, f.cfg.M),
+		lastAccess: t.clock,
+	}
+	t.entries[receiver] = e
+	return e
+}
+
+// replaceDeadPath swaps out entry's path at slot with the next top
+// shortest path ("when a payment encounters an unaccessible path with
+// zero effective capacity or no connectivity, Flash replaces it with
+// the next top shortest path"). The extended Yen list is computed once
+// per entry on first need; subsequent replacements rotate through it —
+// a path that was dead earlier may have revived, since channel balances
+// move in both directions. Returns the replacement, or nil when the
+// pair has no alternative paths at all (the slot is then dropped).
+func (f *Flash) replaceDeadPath(g *topo.Graph, sender topo.NodeID, e *tableEntry, slot int) []topo.NodeID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if slot >= len(e.paths) {
+		return nil
+	}
+	if e.all == nil {
+		receiver := e.paths[slot][len(e.paths[slot])-1]
+		e.all = graph.YenKSP(g, sender, receiver, f.cfg.M+replacementPool)
+		e.cursor = len(e.paths) % max(len(e.all), 1)
+	}
+	if len(e.all) <= 1 {
+		e.paths = append(e.paths[:slot], e.paths[slot+1:]...)
+		return nil
+	}
+	// Pick the next rotation candidate not currently in the live set.
+	for tries := 0; tries < len(e.all); tries++ {
+		cand := e.all[e.cursor%len(e.all)]
+		e.cursor++
+		if !containsPath(e.paths, cand) {
+			e.paths[slot] = cand
+			f.pathsReplaced++
+			return cand
+		}
+	}
+	e.paths = append(e.paths[:slot], e.paths[slot+1:]...)
+	return nil
+}
+
+// containsPath reports whether set holds an identical path.
+func containsPath(set [][]topo.NodeID, p []topo.NodeID) bool {
+	for _, q := range set {
+		if len(q) != len(p) {
+			continue
+		}
+		same := true
+		for i := range q {
+			if q[i] != p[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// routeMice is the paper's mice algorithm (§3.3): look the receiver up
+// in the routing table, then run a trial-and-error loop over the cached
+// paths in random order — send the full remainder without probing; only
+// when that fails probe the path and send a partial payment of its
+// effective capacity.
+func (f *Flash) routeMice(s route.Session) error {
+	g := s.Graph()
+	entry := f.lookupPaths(g, s.Sender(), s.Receiver())
+	if len(entry.paths) == 0 {
+		if err := s.Abort(); err != nil {
+			return err
+		}
+		return route.ErrNoRoute
+	}
+
+	order := f.pathOrder(entry)
+	remaining := s.Demand()
+	for _, slot := range order {
+		if remaining <= route.Epsilon {
+			break
+		}
+		if slot >= len(entry.paths) {
+			continue // a replacement shrank the table mid-loop
+		}
+		path := entry.paths[slot]
+		// First try the full remainder directly — no probing (this is
+		// where mice routing wins its overhead back: most mice succeed
+		// on the first try).
+		if err := s.Hold(path, remaining); err == nil {
+			remaining = 0
+			break
+		}
+		// Rejected: probe to learn the effective capacity cp and send a
+		// partial payment of that volume.
+		info, err := s.Probe(path)
+		if err != nil {
+			continue
+		}
+		cp := route.MinAvailable(info)
+		if cp <= route.Epsilon {
+			// Dead path: replace with the next pooled Yen path and, if
+			// one exists, give it a chance for this payment too.
+			if next := f.replaceDeadPath(g, s.Sender(), entry, slot); next != nil {
+				held := route.HoldUpTo(s, next, remaining)
+				remaining -= held
+			}
+			continue
+		}
+		amount := cp
+		if amount > remaining {
+			amount = remaining
+		}
+		if err := s.Hold(path, amount); err == nil {
+			remaining -= amount
+		}
+	}
+	return route.Finish(s, route.ErrInsufficent)
+}
+
+// pathOrder returns the order in which to try table paths: random by
+// default ("Flash randomly picks the paths to better load balance them
+// without knowing their instantaneous capacities"), or ascending length
+// when the FixedMiceOrder ablation is on.
+func (f *Flash) pathOrder(e *tableEntry) []int {
+	n := len(e.paths)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if f.cfg.FixedMiceOrder {
+		sort.Slice(order, func(a, b int) bool {
+			return len(e.paths[order[a]]) < len(e.paths[order[b]])
+		})
+		return order
+	}
+	f.mu.Lock()
+	f.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	f.mu.Unlock()
+	return order
+}

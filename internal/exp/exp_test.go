@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOptions exercises the full harness at unit-test scale.
+func tinyOptions(buf *bytes.Buffer) Options {
+	return Options{Tiny: true, Seed: 1, Out: buf}
+}
+
+// TestEveryFigureRunsTiny drives each figure-regeneration function end
+// to end at Tiny scale and checks it emits its banner and at least one
+// data row.
+func TestEveryFigureRunsTiny(t *testing.T) {
+	figs := []struct {
+		name string
+		fn   func(Options) error
+		want string
+	}{
+		{"Fig3", Fig3, "Figure 3"},
+		{"Fig4", Fig4, "Figure 4"},
+		{"Fig6", Fig6, "Figure 6"},
+		{"Fig7", Fig7, "Figure 7"},
+		{"Fig8", Fig8, "Figure 8"},
+		{"Fig9", Fig9, "Figure 9"},
+		{"Fig10", Fig10, "Figure 10"},
+		{"Fig11", Fig11, "Figure 11"},
+		{"Headline", Headline, "Headline"},
+		{"AblationElephantK", AblationElephantK, "elephant path budget"},
+		{"AblationMiceOrder", AblationMiceOrder, "mice path order"},
+		{"AblationProbeAllK", AblationProbeAllK, "Algorithm 1 termination"},
+		{"AblationMaxFlowBound", AblationMaxFlowBound, "upper bound"},
+	}
+	for _, f := range figs {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := f.fn(tinyOptions(&buf)); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, f.want) {
+				t.Errorf("output missing %q:\n%s", f.want, out)
+			}
+			if strings.Count(out, "\n") < 3 {
+				t.Errorf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestTestbedFiguresRunTiny exercises the TCP-backed figures (serially:
+// they boot real listeners).
+func TestTestbedFiguresRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP testbed figures skipped in -short mode")
+	}
+	for _, f := range []struct {
+		name string
+		fn   func(Options) error
+	}{
+		{"Fig12", Fig12},
+		{"Fig13", Fig13},
+	} {
+		var buf bytes.Buffer
+		if err := f.fn(tinyOptions(&buf)); err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if !strings.Contains(buf.String(), "ShortestPath") {
+			t.Errorf("%s: output missing baseline rows:\n%s", f.name, buf.String())
+		}
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	full := Options{Full: true}
+	if full.rippleNodes() != 1870 || full.lightningNodes() != 2511 || full.runs() != 5 {
+		t.Error("full-scale sizes wrong")
+	}
+	tiny := Options{Tiny: true}
+	if tiny.rippleNodes() != 60 || tiny.runs() != 1 || tiny.txns(2000) != 150 {
+		t.Error("tiny sizes wrong")
+	}
+	def := Options{}
+	if def.rippleNodes() != 500 || def.txns(2000) != 2000 || def.seed() != 1 {
+		t.Error("default sizes wrong")
+	}
+	if (Options{Seed: 9}).seed() != 9 {
+		t.Error("seed override ignored")
+	}
+}

@@ -1,0 +1,224 @@
+// Package gossip implements the topology-maintenance layer Flash
+// presupposes (§3.1): "practical offchain routing protocols in
+// Lightning and Raiden require each node to locally store the topology
+// of the offchain network and periodically update it using some
+// gossiping protocols". The paper treats this layer as given; this
+// package builds it, so the repository contains every moving part a
+// deployment needs.
+//
+// The design follows Lightning's gossip in miniature:
+//
+//   - Channel events (open, close, per-direction fee updates) are
+//     signed-by-origin in spirit: each carries the originating node and
+//     a per-origin sequence number; peers deduplicate on (origin, seq)
+//     and flood to their channel neighbours.
+//   - Gossip travels over the channel graph itself (a node talks only
+//     to its direct channel peers), so partitions in the channel graph
+//     partition knowledge, exactly as in the real network.
+//   - Periodic anti-entropy reconciles missed events: a peer exchanges
+//     per-origin sequence vectors with a neighbour and pulls anything
+//     it lacks.
+//
+// Every peer exposes a View — an eventually consistent local topology
+// (plus fee metadata) that materialises *topo.Graph snapshots for the
+// routing layer; Flash's routing tables are refreshed when the view
+// version advances (paper §3.3: "The routing table is periodically
+// refreshed when the local network topology G is updated (by the
+// underlying gossip protocol)").
+package gossip
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pcn"
+	"repro/internal/topo"
+)
+
+// EventType enumerates the channel lifecycle events gossip carries.
+type EventType uint8
+
+// Channel lifecycle events.
+const (
+	EventOpen   EventType = iota + 1 // a channel A–B was funded on-chain
+	EventClose                       // a channel A–B was settled on-chain
+	EventUpdate                      // the fee policy of direction A→B changed
+)
+
+var eventNames = [...]string{"", "OPEN", "CLOSE", "UPDATE"}
+
+// String names the event type.
+func (t EventType) String() string {
+	if int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(t))
+}
+
+// Event is one gossip announcement. Origin+Seq identify it globally;
+// later events from the same origin supersede earlier ones.
+type Event struct {
+	Origin topo.NodeID // announcing node
+	Seq    uint64      // per-origin sequence number
+	Type   EventType
+	A, B   topo.NodeID     // channel endpoints (A→B is the updated direction for EventUpdate)
+	Fee    pcn.FeeSchedule // payload of EventUpdate
+}
+
+// key identifies a channel in views.
+type key struct{ a, b topo.NodeID }
+
+func keyOf(a, b topo.NodeID) key {
+	if a > b {
+		a, b = b, a
+	}
+	return key{a, b}
+}
+
+// channelMeta is a view's knowledge about one channel.
+type channelMeta struct {
+	open   bool
+	feeAB  pcn.FeeSchedule // direction canonical-A → canonical-B
+	feeBA  pcn.FeeSchedule
+	openAt eventStamp // stamp of the open/close that set `open`
+}
+
+// eventStamp orders events from the same origin.
+type eventStamp struct {
+	origin topo.NodeID
+	seq    uint64
+}
+
+// newer reports whether s supersedes t for the same subject. Ordering
+// is by sequence number with origin ID as an arbitrary but consistent
+// tiebreaker, so all views converge on the same winner.
+func (s eventStamp) newer(t eventStamp) bool {
+	if s.seq != t.seq {
+		return s.seq > t.seq
+	}
+	return s.origin > t.origin
+}
+
+// View is an eventually consistent local topology.
+type View struct {
+	mu       sync.Mutex
+	nodes    int
+	channels map[key]*channelMeta
+	version  uint64
+
+	snapshot        *topo.Graph // cached materialisation
+	snapshotVersion uint64
+}
+
+// NewView returns an empty view over a fixed node ID space.
+func NewView(nodes int) *View {
+	return &View{nodes: nodes, channels: make(map[key]*channelMeta)}
+}
+
+// Version increases whenever the view's content changes; the routing
+// layer compares versions to decide when to refresh routing tables.
+func (v *View) Version() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.version
+}
+
+// apply integrates an event, reporting whether it changed the view.
+func (v *View) apply(e Event) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	k := keyOf(e.A, e.B)
+	meta, ok := v.channels[k]
+	if !ok {
+		meta = &channelMeta{}
+		v.channels[k] = meta
+	}
+	stamp := eventStamp{origin: e.Origin, seq: e.Seq}
+	switch e.Type {
+	case EventOpen, EventClose:
+		if ok && !stamp.newer(meta.openAt) {
+			return false // stale news
+		}
+		meta.openAt = stamp
+		wantOpen := e.Type == EventOpen
+		meta.open = wantOpen
+		v.version++
+		return true
+	case EventUpdate:
+		if k.a == e.A {
+			meta.feeAB = e.Fee
+		} else {
+			meta.feeBA = e.Fee
+		}
+		v.version++
+		return true
+	}
+	return false
+}
+
+// Open reports whether the view believes a channel joins a and b.
+func (v *View) Open(a, b topo.NodeID) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	meta, ok := v.channels[keyOf(a, b)]
+	return ok && meta.open
+}
+
+// Fee returns the view's belief about the fee of direction a→b.
+func (v *View) Fee(a, b topo.NodeID) pcn.FeeSchedule {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	meta, ok := v.channels[keyOf(a, b)]
+	if !ok {
+		return pcn.FeeSchedule{}
+	}
+	if keyOf(a, b).a == a {
+		return meta.feeAB
+	}
+	return meta.feeBA
+}
+
+// NumOpen counts channels the view believes open.
+func (v *View) NumOpen() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, m := range v.channels {
+		if m.open {
+			n++
+		}
+	}
+	return n
+}
+
+// Graph materialises the view as a topology snapshot. Snapshots are
+// cached per version, so repeated calls between changes are free. The
+// returned graph must be treated as immutable.
+func (v *View) Graph() *topo.Graph {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.snapshot != nil && v.snapshotVersion == v.version {
+		return v.snapshot
+	}
+	g := topo.New(v.nodes)
+	keys := make([]key, 0, len(v.channels))
+	for k, m := range v.channels {
+		if m.open {
+			keys = append(keys, k)
+		}
+	}
+	// Deterministic channel indices regardless of map order.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		g.MustAddChannel(k.a, k.b)
+	}
+	v.snapshot = g
+	v.snapshotVersion = v.version
+	return g
+}

@@ -1,0 +1,238 @@
+package gossip
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pcn"
+	"repro/internal/topo"
+)
+
+// buildPeers creates n connected peers wired along the given edges.
+func buildPeers(n int, edges [][2]topo.NodeID) []*Peer {
+	peers := make([]*Peer, n)
+	for i := range peers {
+		peers[i] = NewPeer(topo.NodeID(i), n)
+	}
+	for _, e := range edges {
+		Connect(peers[e[0]], peers[e[1]])
+	}
+	return peers
+}
+
+func TestFloodReachesAllPeers(t *testing.T) {
+	// Line 0-1-2-3: an announcement at 0 must reach 3.
+	peers := buildPeers(4, [][2]topo.NodeID{{0, 1}, {1, 2}, {2, 3}})
+	peers[0].AnnounceOpen(1)
+	for i, p := range peers {
+		if !p.View().Open(0, 1) {
+			t.Errorf("peer %d did not learn channel 0-1", i)
+		}
+	}
+}
+
+func TestCloseSupersedesOpen(t *testing.T) {
+	peers := buildPeers(3, [][2]topo.NodeID{{0, 1}, {1, 2}})
+	peers[0].AnnounceOpen(1)
+	peers[0].AnnounceClose(1)
+	for i, p := range peers {
+		if p.View().Open(0, 1) {
+			t.Errorf("peer %d still believes 0-1 open after close", i)
+		}
+	}
+}
+
+func TestStaleEventIgnored(t *testing.T) {
+	v := NewView(4)
+	// Seq 5 open, then stale seq 3 close from the same origin: stays open.
+	v.apply(Event{Origin: 0, Seq: 5, Type: EventOpen, A: 0, B: 1})
+	before := v.Version()
+	if v.apply(Event{Origin: 0, Seq: 3, Type: EventClose, A: 0, B: 1}) {
+		t.Error("stale event applied")
+	}
+	if !v.Open(0, 1) {
+		t.Error("stale close flipped the channel")
+	}
+	if v.Version() != before {
+		t.Error("stale event bumped version")
+	}
+}
+
+func TestConcurrentEventsConverge(t *testing.T) {
+	// Both endpoints announce with the same seq; every view must pick
+	// the same winner regardless of arrival order.
+	a := NewView(4)
+	b := NewView(4)
+	open := Event{Origin: 1, Seq: 1, Type: EventOpen, A: 1, B: 2}
+	clos := Event{Origin: 2, Seq: 1, Type: EventClose, A: 2, B: 1}
+	a.apply(open)
+	a.apply(clos)
+	b.apply(clos)
+	b.apply(open)
+	if a.Open(1, 2) != b.Open(1, 2) {
+		t.Errorf("views diverged: a=%v b=%v", a.Open(1, 2), b.Open(1, 2))
+	}
+}
+
+func TestFeeUpdates(t *testing.T) {
+	peers := buildPeers(2, [][2]topo.NodeID{{0, 1}})
+	peers[0].AnnounceOpen(1)
+	fee := pcn.FeeSchedule{Rate: 0.02}
+	peers[0].AnnounceFee(1, fee)
+	if got := peers[1].View().Fee(0, 1); got != fee {
+		t.Errorf("peer 1 fee(0→1) = %+v, want %+v", got, fee)
+	}
+	if got := peers[1].View().Fee(1, 0); got == fee {
+		t.Error("reverse direction fee should be unset")
+	}
+}
+
+func TestViewGraphMaterialisation(t *testing.T) {
+	v := NewView(5)
+	v.apply(Event{Origin: 0, Seq: 1, Type: EventOpen, A: 0, B: 1})
+	v.apply(Event{Origin: 1, Seq: 1, Type: EventOpen, A: 1, B: 2})
+	g := v.Graph()
+	if g.NumChannels() != 2 || !g.HasChannel(0, 1) || !g.HasChannel(1, 2) {
+		t.Errorf("materialised graph wrong: %d channels", g.NumChannels())
+	}
+	// Cached while unchanged.
+	if v.Graph() != g {
+		t.Error("snapshot not cached")
+	}
+	// Invalidated on change.
+	v.apply(Event{Origin: 0, Seq: 2, Type: EventClose, A: 0, B: 1})
+	g2 := v.Graph()
+	if g2 == g || g2.NumChannels() != 1 {
+		t.Errorf("snapshot not refreshed: %d channels", g2.NumChannels())
+	}
+	if v.NumOpen() != 1 {
+		t.Errorf("NumOpen = %d, want 1", v.NumOpen())
+	}
+}
+
+func TestPartitionLimitsKnowledge(t *testing.T) {
+	// Two disconnected pairs: 0-1 and 2-3. News in one component must
+	// not reach the other.
+	peers := buildPeers(4, [][2]topo.NodeID{{0, 1}, {2, 3}})
+	peers[0].AnnounceOpen(1)
+	if peers[2].View().Open(0, 1) {
+		t.Error("announcement crossed a partition")
+	}
+}
+
+func TestReconcileCatchesUp(t *testing.T) {
+	peers := buildPeers(3, [][2]topo.NodeID{{0, 1}})
+	peers[0].AnnounceOpen(1)
+	peers[1].AnnounceFee(0, pcn.FeeSchedule{Rate: 0.05})
+	// Peer 2 joins late: connect to 1, reconcile, and it learns history.
+	Connect(peers[1], peers[2])
+	if peers[2].View().Open(0, 1) {
+		t.Fatal("peer 2 knew history before reconcile")
+	}
+	Reconcile(peers[2], peers[1])
+	if !peers[2].View().Open(0, 1) {
+		t.Error("reconcile did not transfer the open event")
+	}
+	if got := peers[2].View().Fee(1, 0); got.Rate != 0.05 {
+		t.Errorf("reconcile did not transfer the fee update: %+v", got)
+	}
+}
+
+func TestOnChangeHook(t *testing.T) {
+	peers := buildPeers(2, [][2]topo.NodeID{{0, 1}})
+	calls := 0
+	peers[1].OnChange(func() { calls++ })
+	peers[0].AnnounceOpen(1)
+	peers[0].AnnounceClose(1)
+	if calls != 2 {
+		t.Errorf("hook called %d times, want 2", calls)
+	}
+	// Duplicate delivery must not re-fire the hook.
+	peers[1].receive(Event{Origin: 0, Seq: 1, Type: EventOpen, A: 0, B: 1})
+	if calls != 2 {
+		t.Errorf("duplicate event re-fired hook (%d calls)", calls)
+	}
+}
+
+func TestDisconnectStopsFlooding(t *testing.T) {
+	peers := buildPeers(3, [][2]topo.NodeID{{0, 1}, {1, 2}})
+	Disconnect(peers[1], peers[2])
+	peers[0].AnnounceOpen(1)
+	if peers[2].View().Open(0, 1) {
+		t.Error("event crossed a removed adjacency")
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EventOpen.String() != "OPEN" || EventClose.String() != "CLOSE" || EventUpdate.String() != "UPDATE" {
+		t.Error("event names wrong")
+	}
+	if EventType(9).String() == "" {
+		t.Error("unknown event type should stringify")
+	}
+}
+
+// TestConvergenceProperty: after a random sequence of opens/closes
+// announced at random peers of a connected graph, every peer's view is
+// identical.
+func TestConvergenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := topo.BarabasiAlbert(20, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges [][2]topo.NodeID
+	for _, e := range g.Channels() {
+		edges = append(edges, [2]topo.NodeID{e.A, e.B})
+	}
+	peers := buildPeers(20, edges)
+	for i := 0; i < 300; i++ {
+		p := peers[rng.Intn(20)]
+		other := topo.NodeID(rng.Intn(20))
+		if other == p.ID() {
+			continue
+		}
+		if rng.Float64() < 0.7 {
+			p.AnnounceOpen(other)
+		} else {
+			p.AnnounceClose(other)
+		}
+	}
+	ref := peers[0].View()
+	for i, p := range peers[1:] {
+		v := p.View()
+		if v.NumOpen() != ref.NumOpen() {
+			t.Fatalf("peer %d open-count %d != reference %d", i+1, v.NumOpen(), ref.NumOpen())
+		}
+		for a := 0; a < 20; a++ {
+			for b := a + 1; b < 20; b++ {
+				if v.Open(topo.NodeID(a), topo.NodeID(b)) != ref.Open(topo.NodeID(a), topo.NodeID(b)) {
+					t.Fatalf("peer %d disagrees about channel %d-%d", i+1, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentPublish exercises the locks under -race.
+func TestConcurrentPublish(t *testing.T) {
+	peers := buildPeers(6, [][2]topo.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := peers[id]
+			for j := 0; j < 20; j++ {
+				p.AnnounceOpen(topo.NodeID((id + 1) % 6))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 6; i++ {
+		if !peers[0].View().Open(topo.NodeID(i), topo.NodeID((i+1)%6)) {
+			t.Errorf("channel %d-%d missing after concurrent publish", i, (i+1)%6)
+		}
+	}
+}

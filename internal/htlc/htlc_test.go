@@ -1,0 +1,296 @@
+package htlc
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pcn"
+	"repro/internal/topo"
+)
+
+// fixedReader yields deterministic "randomness" for secrets.
+type fixedReader byte
+
+func (f fixedReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(f)
+	}
+	return len(p), nil
+}
+
+func newLedger(t *testing.T) (*Ledger, *pcn.Network, *Chain) {
+	t.Helper()
+	g := topo.Line(4)
+	net := pcn.New(g)
+	for _, e := range g.Channels() {
+		if err := net.SetBalance(e.A, e.B, 100, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain := &Chain{}
+	return NewLedger(net, chain), net, chain
+}
+
+func TestSecretHash(t *testing.T) {
+	s, err := NewSecret(fixedReader(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := s.Hash(), s.Hash()
+	if h1 != h2 {
+		t.Error("hash not deterministic")
+	}
+	s2, _ := NewSecret(fixedReader(8))
+	if s2.Hash() == h1 {
+		t.Error("distinct secrets share a hash")
+	}
+	if h1.String() == "" {
+		t.Error("hash String empty")
+	}
+	if _, err := NewSecret(nil); err != nil {
+		t.Errorf("crypto/rand secret failed: %v", err)
+	}
+	if _, err := NewSecret(bytes.NewReader(nil)); err == nil {
+		t.Error("empty reader accepted")
+	}
+}
+
+func TestLockClaim(t *testing.T) {
+	l, net, _ := newLedger(t)
+	secret, _ := NewSecret(fixedReader(1))
+	id, err := l.Lock(0, 1, 40, secret.Hash(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Balance(0, 1); got != 60 {
+		t.Errorf("payer balance after lock = %v, want 60", got)
+	}
+	if got := net.Balance(1, 0); got != 100 {
+		t.Errorf("payee balance must not move before claim: %v", got)
+	}
+	if l.Escrow() != 40 {
+		t.Errorf("escrow = %v, want 40", l.Escrow())
+	}
+	if err := l.Claim(id, secret); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Balance(1, 0); got != 140 {
+		t.Errorf("payee balance after claim = %v, want 140", got)
+	}
+	if l.Escrow() != 0 {
+		t.Errorf("escrow after claim = %v, want 0", l.Escrow())
+	}
+	c, _ := l.Contract(id)
+	if c.State != StateFulfilled {
+		t.Errorf("state = %v, want FULFILLED", c.State)
+	}
+}
+
+func TestClaimWrongPreimage(t *testing.T) {
+	l, _, _ := newLedger(t)
+	secret, _ := NewSecret(fixedReader(1))
+	wrong, _ := NewSecret(fixedReader(2))
+	id, _ := l.Lock(0, 1, 10, secret.Hash(), 100)
+	if err := l.Claim(id, wrong); !errors.Is(err, ErrWrongPreimage) {
+		t.Errorf("err = %v, want ErrWrongPreimage", err)
+	}
+	// Funds stay in escrow.
+	if l.Escrow() != 10 {
+		t.Error("wrong preimage moved escrow")
+	}
+}
+
+func TestRefundAfterExpiry(t *testing.T) {
+	l, net, chain := newLedger(t)
+	secret, _ := NewSecret(fixedReader(1))
+	id, _ := l.Lock(0, 1, 25, secret.Hash(), 10)
+	if err := l.Refund(id); !errors.Is(err, ErrNotExpired) {
+		t.Errorf("premature refund: %v", err)
+	}
+	chain.Advance(10)
+	if err := l.Claim(id, secret); !errors.Is(err, ErrExpired) {
+		t.Errorf("claim after expiry: %v", err)
+	}
+	if err := l.Refund(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Balance(0, 1); got != 100 {
+		t.Errorf("refund did not restore payer balance: %v", got)
+	}
+	c, _ := l.Contract(id)
+	if c.State != StateRefunded {
+		t.Errorf("state = %v, want REFUNDED", c.State)
+	}
+	// Double refund rejected.
+	if err := l.Refund(id); !errors.Is(err, ErrNotPending) {
+		t.Errorf("double refund: %v", err)
+	}
+}
+
+func TestLockValidation(t *testing.T) {
+	l, _, chain := newLedger(t)
+	secret, _ := NewSecret(fixedReader(1))
+	if _, err := l.Lock(0, 1, -5, secret.Hash(), 100); err == nil {
+		t.Error("negative amount accepted")
+	}
+	if _, err := l.Lock(0, 1, 1000, secret.Hash(), 100); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("over-balance lock: %v", err)
+	}
+	chain.Advance(50)
+	if _, err := l.Lock(0, 1, 5, secret.Hash(), 40); !errors.Is(err, ErrExpired) {
+		t.Errorf("already-expired lock: %v", err)
+	}
+	if _, err := l.Contract(999); !errors.Is(err, ErrUnknown) {
+		t.Error("unknown contract lookup should fail")
+	}
+	if err := l.Claim(999, secret); !errors.Is(err, ErrUnknown) {
+		t.Error("unknown claim should fail")
+	}
+}
+
+func TestMultiHopClaimPropagation(t *testing.T) {
+	l, net, _ := newLedger(t)
+	total := net.TotalFunds()
+	secret, _ := NewSecret(fixedReader(3))
+	path := []topo.NodeID{0, 1, 2, 3}
+	p, err := Setup(l, path, 30, secret.Hash(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Contracts()) != 3 {
+		t.Fatalf("contracts = %d, want 3", len(p.Contracts()))
+	}
+	// Expiries decrease towards the receiver.
+	var prev int64 = math.MaxInt64
+	for i, id := range p.Contracts() {
+		c, _ := l.Contract(id)
+		if c.Expiry >= prev {
+			t.Errorf("hop %d expiry %d not below upstream %d", i, c.Expiry, prev)
+		}
+		prev = c.Expiry
+	}
+	if err := p.ClaimAll(secret); err != nil {
+		t.Fatal(err)
+	}
+	// Net effect: 30 moved from node 0's side to node 3's side.
+	if got := net.Balance(0, 1); got != 70 {
+		t.Errorf("sender balance = %v, want 70", got)
+	}
+	if got := net.Balance(3, 2); got != 130 {
+		t.Errorf("receiver balance = %v, want 130", got)
+	}
+	if math.Abs(net.TotalFunds()-total) > 1e-9 {
+		t.Error("funds not conserved through claim propagation")
+	}
+	if l.Escrow() != 0 {
+		t.Error("escrow left behind")
+	}
+}
+
+func TestMultiHopExpiryRefundsEverything(t *testing.T) {
+	l, net, _ := newLedger(t)
+	secret, _ := NewSecret(fixedReader(4))
+	p, err := Setup(l, []topo.NodeID{0, 1, 2, 3}, 20, secret.Hash(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := p.ExpireAll(); n != 3 {
+		t.Errorf("refunded %d contracts, want 3", n)
+	}
+	for _, e := range net.Graph().Channels() {
+		if net.Balance(e.A, e.B) != 100 || net.Balance(e.B, e.A) != 100 {
+			t.Errorf("channel %v not restored", e)
+		}
+	}
+	if l.Escrow() != 0 {
+		t.Error("escrow left after full refund")
+	}
+}
+
+func TestSetupUnwindOnFailure(t *testing.T) {
+	l, net, _ := newLedger(t)
+	// Drain the last hop so setup fails mid-path.
+	net.SetBalance(2, 3, 5, 195)
+	secret, _ := NewSecret(fixedReader(5))
+	if _, err := Setup(l, []topo.NodeID{0, 1, 2, 3}, 30, secret.Hash(), 10); err == nil {
+		t.Fatal("setup should fail on drained hop")
+	}
+	// The locked prefix must be unwound.
+	if net.Balance(0, 1) != 100 || net.Balance(1, 2) != 100 {
+		t.Errorf("prefix not unwound: %v, %v", net.Balance(0, 1), net.Balance(1, 2))
+	}
+	if l.Escrow() != 0 {
+		t.Errorf("escrow leaked: %v", l.Escrow())
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	l, _, _ := newLedger(t)
+	secret, _ := NewSecret(fixedReader(6))
+	if _, err := Setup(l, []topo.NodeID{0}, 10, secret.Hash(), 10); err == nil {
+		t.Error("degenerate path accepted")
+	}
+	// Default delta applies when zero is passed.
+	p, err := Setup(l, []topo.NodeID{0, 1}, 10, secret.Hash(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := l.Contract(p.Contracts()[0])
+	if c.Expiry != DefaultDelta {
+		t.Errorf("default delta expiry = %d, want %d", c.Expiry, DefaultDelta)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StatePending.String() != "PENDING" || StateFulfilled.String() != "FULFILLED" ||
+		StateRefunded.String() != "REFUNDED" || State(9).String() == "" {
+		t.Error("state names wrong")
+	}
+}
+
+// TestConservationProperty: random lock/claim/refund interleavings
+// conserve spendable + escrow funds and never double-settle.
+func TestConservationProperty(t *testing.T) {
+	g := topo.Ring(6)
+	net := pcn.New(g)
+	for _, e := range g.Channels() {
+		net.SetBalance(e.A, e.B, 100, 100)
+	}
+	chain := &Chain{}
+	l := NewLedger(net, chain)
+	total := net.TotalFunds()
+	rng := rand.New(rand.NewSource(9))
+
+	type live struct {
+		id     uint64
+		secret Secret
+	}
+	var pending []live
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(3) {
+		case 0: // lock
+			a := topo.NodeID(rng.Intn(6))
+			b := topo.NodeID((int(a) + 1) % 6)
+			secret, _ := NewSecret(fixedReader(byte(step)))
+			id, err := l.Lock(a, b, 1+rng.Float64()*20, secret.Hash(), chain.Height()+5+int64(rng.Intn(20)))
+			if err == nil {
+				pending = append(pending, live{id, secret})
+			}
+		case 1: // claim one
+			if len(pending) > 0 {
+				i := rng.Intn(len(pending))
+				l.Claim(pending[i].id, pending[i].secret) //nolint:errcheck
+				pending = append(pending[:i], pending[i+1:]...)
+			}
+		case 2: // time passes, sweep refunds
+			chain.Advance(int64(rng.Intn(4)))
+			l.RefundExpired()
+		}
+		if got := net.TotalFunds() + l.Escrow(); math.Abs(got-total) > 1e-6 {
+			t.Fatalf("step %d: spendable+escrow = %v, want %v", step, got, total)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package htlc
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// DefaultDelta is the per-hop expiry margin in blocks: each hop's
+// contract expires this much later than its downstream neighbour's, so
+// an intermediate always has time to claim upstream after learning the
+// preimage downstream (Lightning's CLTV delta).
+const DefaultDelta = 40
+
+// Payment is one multi-hop HTLC payment in flight: a chain of per-hop
+// contracts sharing a hash lock, with expiries decreasing towards the
+// receiver.
+type Payment struct {
+	ledger    *Ledger
+	path      []topo.NodeID
+	amount    float64
+	hash      Hash
+	contracts []uint64 // hop i locks path[i]→path[i+1]
+}
+
+// Setup locks an HTLC on every hop of path for amount, committed to
+// hash, with per-hop expiries of now + delta·(hops−i) — largest at the
+// sender, smallest at the receiver-facing hop. If any hop cannot be
+// locked, the already locked prefix is rolled back via early refunds
+// (permitted here because nothing downstream exists yet — the
+// on-protocol equivalent of a failed setup unwinding).
+func Setup(l *Ledger, path []topo.NodeID, amount float64, hash Hash, delta int64) (*Payment, error) {
+	if len(path) < 2 {
+		return nil, fmt.Errorf("htlc: path too short")
+	}
+	if delta <= 0 {
+		delta = DefaultDelta
+	}
+	hops := len(path) - 1
+	now := l.chain.Height()
+	p := &Payment{ledger: l, path: path, amount: amount, hash: hash}
+	for i := 0; i < hops; i++ {
+		expiry := now + delta*int64(hops-i)
+		id, err := l.Lock(path[i], path[i+1], amount, hash, expiry)
+		if err != nil {
+			p.unwind()
+			return nil, fmt.Errorf("htlc: locking hop %d→%d: %w", path[i], path[i+1], err)
+		}
+		p.contracts = append(p.contracts, id)
+	}
+	return p, nil
+}
+
+// unwind force-refunds the locked prefix of a failed setup. Contracts
+// are still pending and unexpired; we bypass the expiry check by
+// refunding at the ledger level with the payer's cooperation (both
+// parties agree nothing downstream depends on them).
+func (p *Payment) unwind() {
+	l := p.ledger
+	for _, id := range p.contracts {
+		l.mu.Lock()
+		c, ok := l.contracts[id]
+		if ok && c.State == StatePending {
+			balFwd := l.net.Balance(c.From, c.To)
+			l.net.SetBalance(c.From, c.To, balFwd+c.Amount, l.net.Balance(c.To, c.From)) //nolint:errcheck
+			c.State = StateRefunded
+			l.escrow -= c.Amount
+		}
+		l.mu.Unlock()
+	}
+}
+
+// Contracts returns the per-hop contract IDs, sender side first.
+func (p *Payment) Contracts() []uint64 {
+	return append([]uint64(nil), p.contracts...)
+}
+
+// ClaimAll settles the payment: the receiver reveals the preimage on
+// its inbound hop, and the revelation propagates towards the sender —
+// each intermediate claims its inbound contract with the now-public
+// secret. Returns an error (leaving remaining hops pending) if any
+// claim fails; in the real network those hops would later refund.
+func (p *Payment) ClaimAll(secret Secret) error {
+	for i := len(p.contracts) - 1; i >= 0; i-- {
+		if err := p.ledger.Claim(p.contracts[i], secret); err != nil {
+			return fmt.Errorf("htlc: claiming hop %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ExpireAll advances past every expiry and refunds — the failure path
+// when the receiver never reveals the preimage.
+func (p *Payment) ExpireAll() int {
+	maxExpiry := int64(0)
+	for _, id := range p.contracts {
+		if c, err := p.ledger.Contract(id); err == nil && c.Expiry > maxExpiry {
+			maxExpiry = c.Expiry
+		}
+	}
+	if now := p.ledger.chain.Height(); maxExpiry > now {
+		p.ledger.chain.Advance(maxExpiry - now)
+	}
+	return p.ledger.RefundExpired()
+}

@@ -1,0 +1,298 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveSimpleInequality(t *testing.T) {
+	// minimize -x - 2y  s.t.  x + y ≤ 4, x ≤ 2, y ≤ 3, x,y ≥ 0.
+	// Optimum at (1, 3): objective -7.
+	sol, err := Solve(Problem{
+		C:   []float64{-1, -2},
+		Aub: [][]float64{{1, 1}, {1, 0}, {0, 1}},
+		Bub: []float64{4, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, -7, 1e-7) {
+		t.Errorf("objective = %v, want -7 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// minimize 3x + 2y  s.t.  x + y = 10, x ≤ 6, x,y ≥ 0. Optimum (0,10)=20.
+	sol, err := Solve(Problem{
+		C:   []float64{3, 2},
+		Aeq: [][]float64{{1, 1}},
+		Beq: []float64{10},
+		Aub: [][]float64{{1, 0}},
+		Bub: []float64{6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 20, 1e-7) {
+		t.Errorf("objective = %v, want 20 (x=%v)", sol.Objective, sol.X)
+	}
+	if !approx(sol.X[0]+sol.X[1], 10, 1e-7) {
+		t.Errorf("equality violated: %v", sol.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x = 5 and x ≤ 3 cannot both hold.
+	_, err := Solve(Problem{
+		C:   []float64{1},
+		Aeq: [][]float64{{1}},
+		Beq: []float64{5},
+		Aub: [][]float64{{1}},
+		Bub: []float64{3},
+	})
+	if err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// minimize -x with only x ≥ 0: unbounded below.
+	_, err := Solve(Problem{
+		C:   []float64{-1},
+		Aub: [][]float64{{-1}},
+		Bub: []float64{0},
+	})
+	if err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveUnconstrained(t *testing.T) {
+	sol, err := Solve(Problem{C: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0] != 0 || sol.X[1] != 0 {
+		t.Errorf("X = %v, want zeros", sol.X)
+	}
+	if _, err := Solve(Problem{C: []float64{-1}}); err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x ≤ -2  ⇔  x ≥ 2; minimize x → 2.
+	sol, err := Solve(Problem{
+		C:   []float64{1},
+		Aub: [][]float64{{-1}},
+		Bub: []float64{-2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0], 2, 1e-7) {
+		t.Errorf("x = %v, want 2", sol.X[0])
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex: redundant constraints meeting at the optimum.
+	sol, err := Solve(Problem{
+		C:   []float64{-1, -1},
+		Aub: [][]float64{{1, 0}, {1, 0}, {0, 1}, {1, 1}},
+		Bub: []float64{1, 1, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, -2, 1e-7) {
+		t.Errorf("objective = %v, want -2", sol.Objective)
+	}
+}
+
+func TestSolveRedundantEquality(t *testing.T) {
+	// Duplicate equality rows force a leftover basic artificial in an
+	// all-zero row, exercising the drive-out path.
+	sol, err := Solve(Problem{
+		C:   []float64{1, 1},
+		Aeq: [][]float64{{1, 1}, {1, 1}, {2, 2}},
+		Beq: []float64{4, 4, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0]+sol.X[1], 4, 1e-7) {
+		t.Errorf("x = %v, want sum 4", sol.X)
+	}
+}
+
+func TestValidateRagged(t *testing.T) {
+	bad := []Problem{
+		{C: []float64{1}, Aub: [][]float64{{1, 2}}, Bub: []float64{1}},
+		{C: []float64{1}, Aub: [][]float64{{1}}, Bub: []float64{1, 2}},
+		{C: []float64{1}, Aeq: [][]float64{{1, 2}}, Beq: []float64{1}},
+		{C: []float64{1}, Aeq: [][]float64{{1}}, Beq: nil},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// TestSolvePaymentSplit solves a miniature instance of the paper's
+// program (1): 3 paths with capacities 30/30/100 and per-unit fee rates
+// 0.05/0.01/0.02, demand 60. Cheapest-first fills path2 (30 @0.01) and
+// path3 (30 @0.02) for total fee 0.9.
+func TestSolvePaymentSplit(t *testing.T) {
+	sol, err := Solve(Problem{
+		C:   []float64{0.05, 0.01, 0.02},
+		Aeq: [][]float64{{1, 1, 1}},
+		Beq: []float64{60},
+		Aub: [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+		Bub: []float64{30, 30, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 0.9, 1e-7) {
+		t.Errorf("fee = %v, want 0.9 (x=%v)", sol.Objective, sol.X)
+	}
+	if !approx(sol.X[0], 0, 1e-7) || !approx(sol.X[1], 30, 1e-7) || !approx(sol.X[2], 30, 1e-7) {
+		t.Errorf("split = %v, want [0 30 30]", sol.X)
+	}
+}
+
+// randomSplitProblem builds a random feasible payment-split LP: n paths
+// with random capacities and fee rates, demand no larger than the total
+// capacity.
+func randomSplitProblem(rng *rand.Rand, n int) Problem {
+	caps := make([]float64, n)
+	rates := make([]float64, n)
+	total := 0.0
+	aub := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		caps[i] = 1 + rng.Float64()*99
+		rates[i] = 0.001 + rng.Float64()*0.099
+		total += caps[i]
+		row := make([]float64, n)
+		row[i] = 1
+		aub[i] = row
+	}
+	demand := rng.Float64() * total
+	return Problem{
+		C:   rates,
+		Aeq: [][]float64{ones(n)},
+		Beq: []float64{demand},
+		Aub: aub,
+		Bub: caps,
+	}
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// greedySplit is the obvious cheapest-path-first allocation; the LP
+// optimum must never cost more.
+func greedySplit(p Problem) float64 {
+	n := len(p.C)
+	demand := p.Beq[0]
+	type pathCost struct {
+		rate, cap float64
+	}
+	paths := make([]pathCost, n)
+	for i := 0; i < n; i++ {
+		paths[i] = pathCost{p.C[i], p.Bub[i]}
+	}
+	// insertion sort by rate
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && paths[j].rate < paths[j-1].rate; j-- {
+			paths[j], paths[j-1] = paths[j-1], paths[j]
+		}
+	}
+	fee := 0.0
+	for _, pc := range paths {
+		amt := math.Min(demand, pc.cap)
+		fee += amt * pc.rate
+		demand -= amt
+		if demand <= 0 {
+			break
+		}
+	}
+	return fee
+}
+
+// Property: for random feasible payment-split problems, the simplex
+// solution (a) satisfies all constraints and (b) matches the greedy
+// cheapest-first optimum, which is known to be optimal for this
+// separable structure.
+func TestSolveSplitOptimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		p := randomSplitProblem(rng, n)
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v (problem %+v)", trial, err, p)
+		}
+		sum := 0.0
+		for i, x := range sol.X {
+			if x < -1e-7 {
+				t.Fatalf("trial %d: negative allocation %v", trial, sol.X)
+			}
+			if x > p.Bub[i]+1e-6 {
+				t.Fatalf("trial %d: capacity violated: x=%v cap=%v", trial, x, p.Bub[i])
+			}
+			sum += x
+		}
+		if !approx(sum, p.Beq[0], 1e-5) {
+			t.Fatalf("trial %d: demand %v not met: sum=%v", trial, p.Beq[0], sum)
+		}
+		want := greedySplit(p)
+		if sol.Objective > want+1e-5 || sol.Objective < want-1e-5 {
+			t.Fatalf("trial %d: objective %v, greedy optimum %v", trial, sol.Objective, want)
+		}
+	}
+}
+
+// Property (testing/quick): solutions to random 2-variable problems are
+// always feasible when Solve reports success.
+func TestSolveFeasibilityProperty(t *testing.T) {
+	f := func(a1, a2, b1, c1, c2 uint8) bool {
+		p := Problem{
+			C:   []float64{float64(c1), float64(c2)},
+			Aub: [][]float64{{float64(a1), float64(a2)}},
+			Bub: []float64{float64(b1)},
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			return true // infeasible/unbounded is allowed, just not wrong
+		}
+		lhs := float64(a1)*sol.X[0] + float64(a2)*sol.X[1]
+		return lhs <= float64(b1)+1e-6 && sol.X[0] >= -1e-9 && sol.X[1] >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveElephantSizedLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	p := randomSplitProblem(rng, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package node
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pcn"
+	"repro/internal/topo"
+)
+
+// startLine boots a 3-node line 0-1-2 with the given balances per
+// direction and returns the nodes plus a cleanup function.
+func startLine(t *testing.T, bal float64) []*Node {
+	t.Helper()
+	g := topo.Line(3)
+	return startCluster(t, g, bal)
+}
+
+func startCluster(t *testing.T, g *topo.Graph, bal float64) []*Node {
+	t.Helper()
+	nodes := make([]*Node, g.NumNodes())
+	registry := make(map[topo.NodeID]string)
+	for i := range nodes {
+		n, err := New(Config{ID: topo.NodeID(i), Graph: g, Timeout: 3 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		registry[topo.NodeID(i)] = n.Addr()
+		t.Cleanup(func() { n.Close() })
+	}
+	for i := range nodes {
+		nodes[i].SetPeers(registry)
+		for _, v := range g.Neighbors(topo.NodeID(i)) {
+			if err := nodes[i].SetChannel(v, bal, bal,
+				pcn.FeeSchedule{Rate: 0.01}, pcn.FeeSchedule{Rate: 0.01}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return nodes
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := New(Config{ID: 9, Graph: topo.Line(3)}); err == nil {
+		t.Error("out-of-range ID accepted")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	nodes := startLine(t, 100)
+	if _, err := nodes[0].NewSession(0, 5); err == nil {
+		t.Error("self-payment accepted")
+	}
+	if _, err := nodes[0].NewSession(2, -1); err == nil {
+		t.Error("negative demand accepted")
+	}
+	s, err := nodes[0].NewSession(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hold([]topo.NodeID{0, 2}, 5); !errors.Is(err, pcn.ErrBadPath) {
+		t.Errorf("hold over missing channel: %v", err)
+	}
+	if _, err := s.Probe([]topo.NodeID{1, 2}); !errors.Is(err, pcn.ErrBadPath) {
+		t.Errorf("probe from wrong sender: %v", err)
+	}
+}
+
+func TestProbeOverTCP(t *testing.T) {
+	nodes := startLine(t, 75)
+	s, err := nodes[0].NewSession(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Probe([]topo.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info) != 2 {
+		t.Fatalf("hops = %d", len(info))
+	}
+	for i, h := range info {
+		if h.Available != 75 || h.ReverseAvailable != 75 {
+			t.Errorf("hop %d: %+v, want 75/75", i, h)
+		}
+		if h.Fee.Rate != 0.01 {
+			t.Errorf("hop %d fee = %v", i, h.Fee.Rate)
+		}
+	}
+	if s.ProbeMessages() != 4 {
+		t.Errorf("probe messages = %d, want 4", s.ProbeMessages())
+	}
+}
+
+func TestPaymentCommitOverTCP(t *testing.T) {
+	nodes := startLine(t, 100)
+	s, err := nodes[0].NewSession(2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []topo.NodeID{0, 1, 2}
+	if err := s.Hold(path, 40); err != nil {
+		t.Fatal(err)
+	}
+	if s.HeldTotal() != 40 {
+		t.Errorf("held = %v", s.HeldTotal())
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for CONFIRM_ACK side effects to settle everywhere (the
+	// sender's receipt of the ack is the last step, so state is already
+	// final — but poll defensively).
+	waitForBalance(t, nodes[0], 1, 60, 140)
+	waitForBalance(t, nodes[1], 2, 60, 140)
+	// Node 1's mirrors must agree with its neighbours' own views.
+	out10, in10 := nodes[1].Balances(0)
+	if math.Abs(out10-140) > 1e-9 || math.Abs(in10-60) > 1e-9 {
+		t.Errorf("node1 view of channel to 0: out=%v in=%v, want 140/60", out10, in10)
+	}
+	// The receiver must actually have collected the money: its own
+	// spendable balance towards node 1 grew by the payment amount.
+	waitForBalance(t, nodes[2], 1, 140, 60)
+}
+
+// waitForBalance polls until node n's channel towards peer reaches
+// (out, in), failing after 2 seconds.
+func waitForBalance(t *testing.T, n *Node, peer topo.NodeID, out, in float64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		o, i := n.Balances(peer)
+		if math.Abs(o-out) < 1e-9 && math.Abs(i-in) < 1e-9 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	o, i := n.Balances(peer)
+	t.Fatalf("balance to %d = (%v, %v), want (%v, %v)", peer, o, i, out, in)
+}
+
+func TestHoldNackRollsBack(t *testing.T) {
+	nodes := startLine(t, 100)
+	// Drain node 1's balance towards 2.
+	nodes[1].SetChannel(2, 5, 100, pcn.FeeSchedule{}, pcn.FeeSchedule{})
+	s, _ := nodes[0].NewSession(2, 50)
+	err := s.Hold([]topo.NodeID{0, 1, 2}, 50)
+	if !errors.Is(err, pcn.ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	// Everything must be rolled back: node 0 out=100, node 1 in=100.
+	waitForBalance(t, nodes[0], 1, 100, 100)
+	out, in := nodes[1].Balances(0)
+	if math.Abs(out-100) > 1e-9 || math.Abs(in-100) > 1e-9 {
+		t.Errorf("node1 upstream after NACK: out=%v in=%v, want 100/100", out, in)
+	}
+	s.Abort()
+}
+
+func TestAbortReversesHolds(t *testing.T) {
+	nodes := startLine(t, 100)
+	s, _ := nodes[0].NewSession(2, 30)
+	if err := s.Hold([]topo.NodeID{0, 1, 2}, 30); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-payment, funds are deducted.
+	waitForBalance(t, nodes[0], 1, 70, 100)
+	if err := s.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	waitForBalance(t, nodes[0], 1, 100, 100)
+	waitForBalance(t, nodes[1], 2, 100, 100)
+}
+
+func TestMultiPathAtomicCommit(t *testing.T) {
+	g := topo.New(4)
+	g.MustAddChannel(0, 1)
+	g.MustAddChannel(1, 3)
+	g.MustAddChannel(0, 2)
+	g.MustAddChannel(2, 3)
+	nodes := startCluster(t, g, 50)
+	s, _ := nodes[0].NewSession(3, 80)
+	if err := s.Hold([]topo.NodeID{0, 1, 3}, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hold([]topo.NodeID{0, 2, 3}, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	waitForBalance(t, nodes[0], 1, 10, 90)
+	waitForBalance(t, nodes[0], 2, 10, 90)
+	// Receiver gained 40 on each inbound channel.
+	waitForBalance(t, nodes[3], 1, 90, 10)
+	waitForBalance(t, nodes[3], 2, 90, 10)
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	nodes := startLine(t, 100)
+	s, _ := nodes[0].NewSession(2, 10)
+	if err := s.Commit(); err == nil {
+		t.Error("commit with no holds accepted")
+	}
+	if err := s.Hold([]topo.NodeID{0, 1, 2}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); !errors.Is(err, pcn.ErrFinished) {
+		t.Errorf("double commit: %v", err)
+	}
+	if err := s.Abort(); !errors.Is(err, pcn.ErrFinished) {
+		t.Errorf("abort after commit: %v", err)
+	}
+	if _, err := s.Probe([]topo.NodeID{0, 1, 2}); !errors.Is(err, pcn.ErrFinished) {
+		t.Errorf("probe after commit: %v", err)
+	}
+}
+
+func TestTimeoutOnDeadPeer(t *testing.T) {
+	g := topo.Line(3)
+	nodes := make([]*Node, 3)
+	registry := make(map[topo.NodeID]string)
+	for i := range nodes {
+		n, err := New(Config{ID: topo.NodeID(i), Graph: g, Timeout: 200 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		registry[topo.NodeID(i)] = n.Addr()
+	}
+	defer nodes[0].Close()
+	defer nodes[2].Close()
+	for i := range nodes {
+		nodes[i].SetPeers(registry)
+		for _, v := range g.Neighbors(topo.NodeID(i)) {
+			nodes[i].SetChannel(v, 100, 100, pcn.FeeSchedule{}, pcn.FeeSchedule{})
+		}
+	}
+	nodes[1].Close() // kill the relay
+	s, _ := nodes[0].NewSession(2, 10)
+	_, err := s.Probe([]topo.NodeID{0, 1, 2})
+	if err == nil {
+		t.Fatal("probe through dead relay succeeded")
+	}
+}
+
+func TestLocalBalance(t *testing.T) {
+	nodes := startLine(t, 60)
+	s, _ := nodes[0].NewSession(2, 10)
+	if got := s.LocalBalance(0, 1); got != 60 {
+		t.Errorf("LocalBalance(0,1) = %v", got)
+	}
+	if got := s.LocalBalance(1, 2); got != 0 {
+		t.Errorf("LocalBalance for remote hop = %v, want 0 (unknown)", got)
+	}
+	s.Abort()
+}
+
+func TestConcurrentPayments(t *testing.T) {
+	g := topo.Ring(6)
+	nodes := startCluster(t, g, 10000)
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(id topo.NodeID) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				target := (id + 1) % 6
+				s, err := nodes[id].NewSession(target, 10)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := s.Hold([]topo.NodeID{id, target}, 10); err != nil {
+					s.Abort()
+					continue
+				}
+				if err := s.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(topo.NodeID(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Total funds conserved: every channel's two spendable balances.
+	time.Sleep(50 * time.Millisecond) // let final acks land
+	total := 0.0
+	for _, e := range g.Channels() {
+		outA, _ := nodes[e.A].Balances(e.B)
+		outB, _ := nodes[e.B].Balances(e.A)
+		total += outA + outB
+	}
+	if math.Abs(total-6*2*10000) > 1e-6 {
+		t.Errorf("total funds = %v, want %v", total, 6*2*10000.0)
+	}
+}

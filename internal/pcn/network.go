@@ -1,0 +1,303 @@
+// Package pcn models the state of a payment channel network: every
+// channel's per-direction balance and fee schedule, plus the transaction
+// machinery (probe / hold / commit / abort) that payments run through.
+//
+// The model follows the paper's semantics exactly:
+//
+//   - A channel between A and B holds two balances, one per direction
+//     (§2.1). Their sum — the channel capacity — is invariant: a payment
+//     of x over hop u→v moves x from bal(u→v) to bal(v→u).
+//   - Multi-path payments are atomic (AMP, §3.1): partial payments are
+//     held (reserved) and either all commit or all abort, mirroring the
+//     prototype's two-phase commit (§5.1).
+//   - Probing a path reveals the current available balance and fee
+//     schedule of each hop and costs messages proportional to the hop
+//     count (§4.2 "The number of probing messages along a path is
+//     proportional to the number of hops of the path").
+//
+// Network is safe for concurrent use; Tx values are not (each payment
+// session belongs to one goroutine, as in the real protocol where the
+// sender drives its own payment).
+package pcn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/topo"
+)
+
+// FeeSchedule is the fee a channel direction charges to forward value:
+// a fixed base plus a proportional rate, the "fixed fee plus a
+// volume-dependent component" form the paper notes is typical (§3.2).
+type FeeSchedule struct {
+	Base float64 // flat fee per forwarded (partial) payment
+	Rate float64 // proportional fee, e.g. 0.01 = 1% of forwarded volume
+}
+
+// Fee returns the fee charged for forwarding amount.
+func (f FeeSchedule) Fee(amount float64) float64 {
+	if amount <= 0 {
+		return 0
+	}
+	return f.Base + f.Rate*amount
+}
+
+// HopInfo is what probing one directed hop reveals: the available
+// balance and fee schedule of the hop, and of its reverse direction. A
+// probed node reports both sides of its adjacent channel — it knows its
+// own balance and, the channel capacity being common knowledge between
+// the two channel parties, the counterparty's as well. Algorithm 1
+// (lines 17–22) records both directions in the capacity matrix.
+type HopInfo struct {
+	Available        float64
+	Fee              FeeSchedule
+	ReverseAvailable float64
+	ReverseFee       FeeSchedule
+}
+
+// channel is the mutable state of one payment channel. Direction 0 is
+// A→B (canonical endpoint order), direction 1 is B→A.
+type channel struct {
+	bal  [2]float64
+	held [2]float64
+	fee  [2]FeeSchedule
+}
+
+// Network is a payment channel network: a topology plus per-channel
+// balances and fees.
+type Network struct {
+	mu    sync.Mutex
+	graph *topo.Graph
+	chans []channel
+
+	probeMessages  int64 // cumulative, all sessions
+	commitMessages int64
+}
+
+// New creates a network over g with all balances zero. Balances are
+// assigned afterwards via SetBalance or one of the Assign helpers.
+func New(g *topo.Graph) *Network {
+	return &Network{graph: g, chans: make([]channel, g.NumChannels())}
+}
+
+// Graph returns the underlying topology (shared, read-only by
+// convention).
+func (n *Network) Graph() *topo.Graph { return n.graph }
+
+// dir returns the channel index and direction for hop u→v.
+func (n *Network) dir(u, v topo.NodeID) (int, int, error) {
+	idx := n.graph.ChannelIndex(u, v)
+	if idx < 0 {
+		return 0, 0, fmt.Errorf("pcn: no channel %d→%d", u, v)
+	}
+	if n.graph.Channel(idx).A == u {
+		return idx, 0, nil
+	}
+	return idx, 1, nil
+}
+
+// SetBalance sets the two directional balances of the channel joining u
+// and v: balUV spendable by u towards v, balVU the reverse.
+func (n *Network) SetBalance(u, v topo.NodeID, balUV, balVU float64) error {
+	if balUV < 0 || balVU < 0 {
+		return fmt.Errorf("pcn: negative balance for channel %d-%d", u, v)
+	}
+	idx, d, err := n.dir(u, v)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chans[idx].bal[d] = balUV
+	n.chans[idx].bal[1-d] = balVU
+	return nil
+}
+
+// SetFee sets the fee schedule charged for forwarding over hop u→v.
+func (n *Network) SetFee(u, v topo.NodeID, fee FeeSchedule) error {
+	idx, d, err := n.dir(u, v)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chans[idx].fee[d] = fee
+	return nil
+}
+
+// Balance returns the current balance of hop u→v (0 if no channel). It
+// does not subtract holds; see Available.
+func (n *Network) Balance(u, v topo.NodeID) float64 {
+	idx, d, err := n.dir(u, v)
+	if err != nil {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chans[idx].bal[d]
+}
+
+// Available returns the spendable balance of hop u→v: balance minus
+// outstanding holds.
+func (n *Network) Available(u, v topo.NodeID) float64 {
+	idx, d, err := n.dir(u, v)
+	if err != nil {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chans[idx].bal[d] - n.chans[idx].held[d]
+}
+
+// Fee returns the fee schedule of hop u→v.
+func (n *Network) Fee(u, v topo.NodeID) FeeSchedule {
+	idx, d, err := n.dir(u, v)
+	if err != nil {
+		return FeeSchedule{}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chans[idx].fee[d]
+}
+
+// Capacity returns the total funds in the channel joining u and v (both
+// directions summed) — the quantity the paper's capacity scale factor
+// multiplies.
+func (n *Network) Capacity(u, v topo.NodeID) float64 {
+	idx, _, err := n.dir(u, v)
+	if err != nil {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chans[idx].bal[0] + n.chans[idx].bal[1]
+}
+
+// TotalFunds returns the sum of all balances across all channels: a
+// conserved quantity under payments (property tests rely on this).
+func (n *Network) TotalFunds() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0.0
+	for i := range n.chans {
+		total += n.chans[i].bal[0] + n.chans[i].bal[1]
+	}
+	return total
+}
+
+// ScaleBalances multiplies every directional balance by factor, the
+// capacity-scale knob of Figures 6 and 7.
+func (n *Network) ScaleBalances(factor float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range n.chans {
+		n.chans[i].bal[0] *= factor
+		n.chans[i].bal[1] *= factor
+	}
+}
+
+// Snapshot captures all balances so a sweep can restore pristine state
+// between runs without rebuilding the network.
+func (n *Network) Snapshot() []float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	snap := make([]float64, 0, 2*len(n.chans))
+	for i := range n.chans {
+		snap = append(snap, n.chans[i].bal[0], n.chans[i].bal[1])
+	}
+	return snap
+}
+
+// Restore reinstates balances captured by Snapshot and clears holds and
+// message counters.
+func (n *Network) Restore(snap []float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(snap) != 2*len(n.chans) {
+		return fmt.Errorf("pcn: snapshot has %d entries, want %d", len(snap), 2*len(n.chans))
+	}
+	for i := range n.chans {
+		n.chans[i].bal[0] = snap[2*i]
+		n.chans[i].bal[1] = snap[2*i+1]
+		n.chans[i].held[0] = 0
+		n.chans[i].held[1] = 0
+	}
+	n.probeMessages = 0
+	n.commitMessages = 0
+	return nil
+}
+
+// ProbeMessages returns the cumulative number of probe messages sent by
+// all payment sessions since construction or the last Restore.
+func (n *Network) ProbeMessages() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.probeMessages
+}
+
+// CommitMessages returns the cumulative number of commit-phase messages
+// (COMMIT/CONFIRM/REVERSE legs) sent by all payment sessions.
+func (n *Network) CommitMessages() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitMessages
+}
+
+// AssignBalancesLogNormal funds every channel with a log-normal total
+// (given median and shape sigma), split across the two directions:
+// evenly when evenSplit is true (the paper's Ripple preprocessing) or by
+// a uniform random fraction otherwise (approximating Lightning's skewed
+// crawled distribution).
+func (n *Network) AssignBalancesLogNormal(rng *rand.Rand, median, sigma float64, evenSplit bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range n.chans {
+		total := logNormal(rng, median, sigma)
+		frac := 0.5
+		if !evenSplit {
+			frac = rng.Float64()
+		}
+		n.chans[i].bal[0] = total * frac
+		n.chans[i].bal[1] = total * (1 - frac)
+	}
+}
+
+// AssignBalancesUniform funds every channel with a total drawn uniformly
+// from [lo, hi), split evenly — the testbed's capacity model (§5.2).
+func (n *Network) AssignBalancesUniform(rng *rand.Rand, lo, hi float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range n.chans {
+		total := lo + rng.Float64()*(hi-lo)
+		n.chans[i].bal[0] = total / 2
+		n.chans[i].bal[1] = total / 2
+	}
+}
+
+// AssignFeesPaper assigns the fee model of the paper's Figure 9
+// experiment: 90% of channels charge a proportional rate drawn from
+// [0.1%, 1%) and the remaining 10% from [1%, 10%), no base fee. Both
+// directions of a channel share a schedule.
+func (n *Network) AssignFeesPaper(rng *rand.Rand) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range n.chans {
+		var rate float64
+		if rng.Float64() < 0.9 {
+			rate = 0.001 + rng.Float64()*0.009
+		} else {
+			rate = 0.01 + rng.Float64()*0.09
+		}
+		fee := FeeSchedule{Rate: rate}
+		n.chans[i].fee[0] = fee
+		n.chans[i].fee[1] = fee
+	}
+}
+
+// logNormal draws a log-normal value with the given median and shape.
+func logNormal(rng *rand.Rand, median, sigma float64) float64 {
+	return median * math.Exp(rng.NormFloat64()*sigma)
+}

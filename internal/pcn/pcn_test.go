@@ -1,0 +1,512 @@
+package pcn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// lineNet builds a 0-1-2-3 line with 100/100 balances per channel.
+func lineNet(t *testing.T) *Network {
+	t.Helper()
+	g := topo.Line(4)
+	n := New(g)
+	for _, e := range g.Channels() {
+		if err := n.SetBalance(e.A, e.B, 100, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestFeeSchedule(t *testing.T) {
+	f := FeeSchedule{Base: 2, Rate: 0.01}
+	if got := f.Fee(100); got != 3 {
+		t.Errorf("Fee(100) = %v, want 3", got)
+	}
+	if got := f.Fee(0); got != 0 {
+		t.Errorf("Fee(0) = %v, want 0", got)
+	}
+	if got := f.Fee(-5); got != 0 {
+		t.Errorf("Fee(-5) = %v, want 0", got)
+	}
+}
+
+func TestSetAndGetBalance(t *testing.T) {
+	n := lineNet(t)
+	if got := n.Balance(0, 1); got != 100 {
+		t.Errorf("Balance(0,1) = %v", got)
+	}
+	if err := n.SetBalance(0, 1, 70, 30); err != nil {
+		t.Fatal(err)
+	}
+	if n.Balance(0, 1) != 70 || n.Balance(1, 0) != 30 {
+		t.Errorf("directional balances = %v/%v, want 70/30", n.Balance(0, 1), n.Balance(1, 0))
+	}
+	if n.Capacity(0, 1) != 100 {
+		t.Errorf("Capacity = %v, want 100", n.Capacity(0, 1))
+	}
+	if n.Balance(0, 3) != 0 {
+		t.Error("missing channel should report zero balance")
+	}
+	if err := n.SetBalance(0, 3, 1, 1); err == nil {
+		t.Error("SetBalance on missing channel should fail")
+	}
+	if err := n.SetBalance(0, 1, -1, 5); err == nil {
+		t.Error("negative balance accepted")
+	}
+}
+
+func TestSetFee(t *testing.T) {
+	n := lineNet(t)
+	fee := FeeSchedule{Rate: 0.02}
+	if err := n.SetFee(1, 2, fee); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Fee(1, 2); got != fee {
+		t.Errorf("Fee(1,2) = %+v", got)
+	}
+	if got := n.Fee(2, 1); got != (FeeSchedule{}) {
+		t.Errorf("reverse direction fee should be unset, got %+v", got)
+	}
+	if err := n.SetFee(0, 3, fee); err == nil {
+		t.Error("SetFee on missing channel should fail")
+	}
+}
+
+func TestBeginValidation(t *testing.T) {
+	n := lineNet(t)
+	if _, err := n.Begin(0, 0, 5); err == nil {
+		t.Error("self-payment accepted")
+	}
+	if _, err := n.Begin(0, 3, 0); err == nil {
+		t.Error("zero demand accepted")
+	}
+	if _, err := n.Begin(0, 3, -2); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestProbe(t *testing.T) {
+	n := lineNet(t)
+	n.SetFee(0, 1, FeeSchedule{Rate: 0.01})
+	tx, err := n.Begin(0, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []topo.NodeID{0, 1, 2, 3}
+	info, err := tx.Probe(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info) != 3 {
+		t.Fatalf("info len = %d", len(info))
+	}
+	if info[0].Available != 100 || info[0].Fee.Rate != 0.01 {
+		t.Errorf("hop 0 info = %+v", info[0])
+	}
+	if tx.ProbeMessages() != 6 {
+		t.Errorf("probe messages = %d, want 2*3", tx.ProbeMessages())
+	}
+	if n.ProbeMessages() != 6 {
+		t.Errorf("network probe messages = %d, want 6", n.ProbeMessages())
+	}
+}
+
+func TestProbeInvalidPath(t *testing.T) {
+	n := lineNet(t)
+	tx, _ := n.Begin(0, 3, 10)
+	if _, err := tx.Probe([]topo.NodeID{0, 2, 3}); err == nil {
+		t.Error("probe over missing channel accepted")
+	}
+	if _, err := tx.Probe([]topo.NodeID{1, 2, 3}); err == nil {
+		t.Error("probe not starting at sender accepted")
+	}
+	if _, err := tx.Probe([]topo.NodeID{0}); err == nil {
+		t.Error("degenerate path accepted")
+	}
+}
+
+func TestHoldCommitMovesBalances(t *testing.T) {
+	n := lineNet(t)
+	total := n.TotalFunds()
+	tx, _ := n.Begin(0, 3, 40)
+	path := []topo.NodeID{0, 1, 2, 3}
+	if err := tx.Hold(path, 40); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Available(0, 1); got != 60 {
+		t.Errorf("available after hold = %v, want 60", got)
+	}
+	if got := n.Balance(0, 1); got != 100 {
+		t.Errorf("balance should be untouched before commit, got %v", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Balance(0, 1); got != 60 {
+		t.Errorf("balance(0→1) = %v, want 60", got)
+	}
+	if got := n.Balance(1, 0); got != 140 {
+		t.Errorf("balance(1→0) = %v, want 140", got)
+	}
+	if got := n.TotalFunds(); math.Abs(got-total) > 1e-9 {
+		t.Errorf("total funds changed: %v → %v", total, got)
+	}
+	if !tx.Finished() {
+		t.Error("session should be finished")
+	}
+}
+
+func TestHoldInsufficient(t *testing.T) {
+	n := lineNet(t)
+	n.SetBalance(1, 2, 5, 195)
+	tx, _ := n.Begin(0, 3, 10)
+	err := tx.Hold([]topo.NodeID{0, 1, 2, 3}, 10)
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	// Nothing must be reserved after a failed hold.
+	if got := n.Available(0, 1); got != 100 {
+		t.Errorf("available(0,1) = %v, want 100 after failed hold", got)
+	}
+	if tx.HeldTotal() != 0 {
+		t.Errorf("HeldTotal = %v, want 0", tx.HeldTotal())
+	}
+}
+
+func TestAbortReleasesHolds(t *testing.T) {
+	n := lineNet(t)
+	tx, _ := n.Begin(0, 3, 50)
+	if err := tx.Hold([]topo.NodeID{0, 1, 2, 3}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Available(0, 1); got != 100 {
+		t.Errorf("available = %v, want 100 after abort", got)
+	}
+	if got := n.Balance(0, 1); got != 100 {
+		t.Errorf("balance = %v, want 100 after abort", got)
+	}
+}
+
+func TestMultiPathAtomicity(t *testing.T) {
+	// Diamond 0-1-3, 0-2-3: hold on both then commit; both paths move.
+	g := topo.New(4)
+	g.MustAddChannel(0, 1)
+	g.MustAddChannel(1, 3)
+	g.MustAddChannel(0, 2)
+	g.MustAddChannel(2, 3)
+	n := New(g)
+	for _, e := range g.Channels() {
+		n.SetBalance(e.A, e.B, 50, 50)
+	}
+	tx, _ := n.Begin(0, 3, 80)
+	if err := tx.Hold([]topo.NodeID{0, 1, 3}, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Hold([]topo.NodeID{0, 2, 3}, 40); err != nil {
+		t.Fatal(err)
+	}
+	if tx.HeldTotal() != 80 {
+		t.Errorf("HeldTotal = %v", tx.HeldTotal())
+	}
+	if tx.PathsUsed() != 2 {
+		t.Errorf("PathsUsed = %d", tx.PathsUsed())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Receiver node 3 gained 80 total across its two channels.
+	gained := n.Balance(3, 1) + n.Balance(3, 2) - 100
+	if math.Abs(gained-80) > 1e-9 {
+		t.Errorf("receiver gained %v, want 80", gained)
+	}
+}
+
+func TestSessionLifecycleErrors(t *testing.T) {
+	n := lineNet(t)
+	tx, _ := n.Begin(0, 3, 10)
+	if err := tx.Commit(); err == nil {
+		t.Error("commit with nothing held accepted")
+	}
+	tx.Hold([]topo.NodeID{0, 1, 2, 3}, 10)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrFinished) {
+		t.Errorf("double commit err = %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrFinished) {
+		t.Errorf("abort after commit err = %v", err)
+	}
+	if _, err := tx.Probe([]topo.NodeID{0, 1, 2, 3}); !errors.Is(err, ErrFinished) {
+		t.Errorf("probe after commit err = %v", err)
+	}
+	if err := tx.Hold([]topo.NodeID{0, 1, 2, 3}, 1); !errors.Is(err, ErrFinished) {
+		t.Errorf("hold after commit err = %v", err)
+	}
+}
+
+func TestHoldZeroAmount(t *testing.T) {
+	n := lineNet(t)
+	tx, _ := n.Begin(0, 3, 10)
+	if err := tx.Hold([]topo.NodeID{0, 1, 2, 3}, 0); err == nil {
+		t.Error("zero-amount hold accepted")
+	}
+}
+
+func TestFeesPaid(t *testing.T) {
+	n := lineNet(t)
+	n.SetFee(0, 1, FeeSchedule{Rate: 0.01})
+	n.SetFee(1, 2, FeeSchedule{Rate: 0.02})
+	n.SetFee(2, 3, FeeSchedule{Base: 1})
+	tx, _ := n.Begin(0, 3, 100)
+	tx.Hold([]topo.NodeID{0, 1, 2, 3}, 100)
+	tx.Commit()
+	want := 1.0 + 2.0 + 1.0
+	if math.Abs(tx.FeesPaid()-want) > 1e-9 {
+		t.Errorf("FeesPaid = %v, want %v", tx.FeesPaid(), want)
+	}
+}
+
+func TestScaleBalances(t *testing.T) {
+	n := lineNet(t)
+	n.ScaleBalances(10)
+	if got := n.Balance(0, 1); got != 1000 {
+		t.Errorf("scaled balance = %v, want 1000", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	n := lineNet(t)
+	snap := n.Snapshot()
+	tx, _ := n.Begin(0, 3, 30)
+	tx.Hold([]topo.NodeID{0, 1, 2, 3}, 30)
+	tx.Commit()
+	if n.Balance(0, 1) == 100 {
+		t.Fatal("payment had no effect")
+	}
+	if err := n.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if n.Balance(0, 1) != 100 || n.ProbeMessages() != 0 {
+		t.Error("restore did not reset state")
+	}
+	if err := n.Restore(snap[:2]); err == nil {
+		t.Error("short snapshot accepted")
+	}
+}
+
+func TestAssignBalancesUniform(t *testing.T) {
+	g := topo.Ring(50)
+	n := New(g)
+	rng := rand.New(rand.NewSource(1))
+	n.AssignBalancesUniform(rng, 1000, 1500)
+	for _, e := range g.Channels() {
+		c := n.Capacity(e.A, e.B)
+		if c < 1000 || c >= 1500 {
+			t.Fatalf("capacity %v outside [1000,1500)", c)
+		}
+		if n.Balance(e.A, e.B) != n.Balance(e.B, e.A) {
+			t.Fatal("uniform assignment should split evenly")
+		}
+	}
+}
+
+func TestAssignBalancesLogNormal(t *testing.T) {
+	g := topo.Ring(400)
+	n := New(g)
+	rng := rand.New(rand.NewSource(2))
+	n.AssignBalancesLogNormal(rng, 250, 1.5, true)
+	caps := make([]float64, 0, 400)
+	for _, e := range g.Channels() {
+		caps = append(caps, n.Capacity(e.A, e.B))
+		if n.Balance(e.A, e.B) != n.Balance(e.B, e.A) {
+			t.Fatal("even split violated")
+		}
+	}
+	med := median(caps)
+	if med < 180 || med > 340 {
+		t.Errorf("capacity median = %v, want ≈250", med)
+	}
+	// Skewed split mode: directions should usually differ.
+	n2 := New(g)
+	n2.AssignBalancesLogNormal(rng, 250, 1.5, false)
+	diff := 0
+	for _, e := range g.Channels() {
+		if n2.Balance(e.A, e.B) != n2.Balance(e.B, e.A) {
+			diff++
+		}
+	}
+	if diff < 350 {
+		t.Errorf("random split produced only %d/400 asymmetric channels", diff)
+	}
+}
+
+func TestAssignFeesPaper(t *testing.T) {
+	g := topo.Ring(1000)
+	n := New(g)
+	rng := rand.New(rand.NewSource(3))
+	n.AssignFeesPaper(rng)
+	low, high := 0, 0
+	for _, e := range g.Channels() {
+		r := n.Fee(e.A, e.B).Rate
+		switch {
+		case r >= 0.001 && r < 0.01:
+			low++
+		case r >= 0.01 && r < 0.1:
+			high++
+		default:
+			t.Fatalf("rate %v outside both bands", r)
+		}
+	}
+	frac := float64(low) / float64(low+high)
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("low-fee fraction = %v, want ≈0.9", frac)
+	}
+}
+
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// TestConservationProperty drives random hold/commit/abort sequences and
+// checks the global invariants: total funds constant, no negative
+// balances, per-channel capacity constant.
+func TestConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := topo.BarabasiAlbert(30, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(g)
+	n.AssignBalancesUniform(rng, 100, 200)
+	total := n.TotalFunds()
+	capOf := make(map[topo.Edge]float64)
+	for _, e := range g.Channels() {
+		capOf[e] = n.Capacity(e.A, e.B)
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		s := topo.NodeID(rng.Intn(30))
+		r := topo.NodeID(rng.Intn(30))
+		if s == r {
+			continue
+		}
+		tx, err := n.Begin(s, r, 1+rng.Float64()*150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Up to 3 random simple paths via repeated BFS-ish walks: use
+		// direct channel or 2-hop through a common neighbour.
+		held := false
+		for attempt := 0; attempt < 3; attempt++ {
+			path := randomPath(g, s, r, rng)
+			if path == nil {
+				continue
+			}
+			amt := 1 + rng.Float64()*50
+			if tx.Hold(path, amt) == nil {
+				held = true
+			}
+		}
+		if held && rng.Float64() < 0.5 {
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := tx.Abort(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := n.TotalFunds(); math.Abs(got-total) > 1e-6 {
+			t.Fatalf("trial %d: total funds drifted %v → %v", trial, total, got)
+		}
+	}
+	for _, e := range g.Channels() {
+		if math.Abs(n.Capacity(e.A, e.B)-capOf[e]) > 1e-6 {
+			t.Fatalf("channel %v capacity drifted", e)
+		}
+		if n.Balance(e.A, e.B) < 0 || n.Balance(e.B, e.A) < 0 {
+			t.Fatalf("negative balance on %v", e)
+		}
+		if n.Available(e.A, e.B) != n.Balance(e.A, e.B) {
+			t.Fatalf("dangling hold on %v", e)
+		}
+	}
+}
+
+// randomPath returns a short simple path from s to r: the direct channel
+// if present, else a 2-hop path through a random common neighbour.
+func randomPath(g *topo.Graph, s, r topo.NodeID, rng *rand.Rand) []topo.NodeID {
+	if g.HasChannel(s, r) && rng.Float64() < 0.5 {
+		return []topo.NodeID{s, r}
+	}
+	nbrs := g.Neighbors(s)
+	for _, i := range rng.Perm(len(nbrs)) {
+		mid := nbrs[i]
+		if mid != r && g.HasChannel(mid, r) {
+			return []topo.NodeID{s, mid, r}
+		}
+	}
+	if g.HasChannel(s, r) {
+		return []topo.NodeID{s, r}
+	}
+	return nil
+}
+
+// TestConcurrentSessions exercises Network's lock under -race: many
+// goroutines each run an independent payment.
+func TestConcurrentSessions(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g, err := topo.BarabasiAlbert(20, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(g)
+	n.AssignBalancesUniform(rng, 1000, 2000)
+	total := n.TotalFunds()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				s := topo.NodeID(r.Intn(20))
+				d := topo.NodeID(r.Intn(20))
+				if s == d {
+					continue
+				}
+				tx, err := n.Begin(s, d, 1)
+				if err != nil {
+					continue
+				}
+				path := randomPath(g, s, d, r)
+				if path != nil && tx.Hold(path, 1+r.Float64()*20) == nil {
+					tx.Commit()
+				} else {
+					tx.Abort()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := n.TotalFunds(); math.Abs(got-total) > 1e-6 {
+		t.Errorf("total funds drifted under concurrency: %v → %v", total, got)
+	}
+}

@@ -1,0 +1,262 @@
+package pcn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Errors returned by payment sessions.
+var (
+	ErrInsufficient = errors.New("pcn: insufficient balance on path")
+	ErrFinished     = errors.New("pcn: session already committed or aborted")
+	ErrBadPath      = errors.New("pcn: invalid path")
+)
+
+// Tx is one payment session: the sender's handle for probing paths,
+// holding partial payments on them, and finally committing or aborting
+// the whole payment atomically. It mirrors the prototype's protocol
+// (§5.1): Probe ≈ PROBE/PROBE_ACK, Hold ≈ COMMIT/COMMIT_ACK, Commit ≈
+// CONFIRM/CONFIRM_ACK, Abort ≈ REVERSE/REVERSE_ACK.
+//
+// A Tx must be used from a single goroutine and finished with exactly
+// one Commit or Abort.
+type Tx struct {
+	net      *Network
+	sender   topo.NodeID
+	receiver topo.NodeID
+	demand   float64
+
+	holds    []holdRecord
+	finished bool
+
+	probeMsgs  int
+	commitMsgs int
+	feesPaid   float64
+}
+
+type holdRecord struct {
+	path   []topo.NodeID
+	amount float64
+}
+
+// Begin opens a payment session for amount demand from sender to
+// receiver.
+func (n *Network) Begin(sender, receiver topo.NodeID, demand float64) (*Tx, error) {
+	if demand <= 0 {
+		return nil, fmt.Errorf("pcn: demand must be positive, got %v", demand)
+	}
+	if sender == receiver {
+		return nil, fmt.Errorf("pcn: sender and receiver are both node %d", sender)
+	}
+	return &Tx{net: n, sender: sender, receiver: receiver, demand: demand}, nil
+}
+
+// Graph returns the sender's local topology view (§3.1): connectivity
+// without balances.
+func (t *Tx) Graph() *topo.Graph { return t.net.graph }
+
+// Sender returns the paying node.
+func (t *Tx) Sender() topo.NodeID { return t.sender }
+
+// Receiver returns the paid node.
+func (t *Tx) Receiver() topo.NodeID { return t.receiver }
+
+// Demand returns the payment amount.
+func (t *Tx) Demand() float64 { return t.demand }
+
+// validPath checks that path starts at the sender, ends at the
+// receiver, and every consecutive pair shares a channel.
+func (t *Tx) validPath(path []topo.NodeID) error {
+	if len(path) < 2 || path[0] != t.sender || path[len(path)-1] != t.receiver {
+		return ErrBadPath
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !t.net.graph.HasChannel(path[i], path[i+1]) {
+			return fmt.Errorf("%w: no channel %d-%d", ErrBadPath, path[i], path[i+1])
+		}
+	}
+	return nil
+}
+
+// Probe sends a probe along path and returns, per hop, the available
+// balance and fee schedule. It costs 2·hops probe messages (the probe
+// travels to the receiver and the acknowledgement returns).
+func (t *Tx) Probe(path []topo.NodeID) ([]HopInfo, error) {
+	if t.finished {
+		return nil, ErrFinished
+	}
+	if err := t.validPath(path); err != nil {
+		return nil, err
+	}
+	hops := len(path) - 1
+	info := make([]HopInfo, hops)
+	t.net.mu.Lock()
+	for i := 0; i < hops; i++ {
+		idx, d, err := t.net.dir(path[i], path[i+1])
+		if err != nil {
+			t.net.mu.Unlock()
+			return nil, err
+		}
+		ch := &t.net.chans[idx]
+		info[i] = HopInfo{
+			Available:        ch.bal[d] - ch.held[d],
+			Fee:              ch.fee[d],
+			ReverseAvailable: ch.bal[1-d] - ch.held[1-d],
+			ReverseFee:       ch.fee[1-d],
+		}
+	}
+	t.net.probeMessages += int64(2 * hops)
+	t.net.mu.Unlock()
+	t.probeMsgs += 2 * hops
+	return info, nil
+}
+
+// LocalBalance returns the available balance of hop u→v without any
+// message cost. It models knowledge a node has of its own channels
+// (used by hop-by-hop schemes such as SpeedyMurmurs, where each
+// forwarding node checks only its local links).
+func (t *Tx) LocalBalance(u, v topo.NodeID) float64 {
+	return t.net.Available(u, v)
+}
+
+// Hold reserves amount along every hop of path — the first phase of the
+// two-phase commit. On success the funds are locked until Commit or
+// Abort. If any hop lacks balance, nothing is reserved and
+// ErrInsufficient is returned (the prototype's COMMIT_NACK + REVERSE of
+// the prefix). Either way the attempt costs 2·hops commit messages.
+func (t *Tx) Hold(path []topo.NodeID, amount float64) error {
+	if t.finished {
+		return ErrFinished
+	}
+	if amount <= 0 {
+		return fmt.Errorf("pcn: hold amount must be positive, got %v", amount)
+	}
+	if err := t.validPath(path); err != nil {
+		return err
+	}
+	hops := len(path) - 1
+	t.net.mu.Lock()
+	defer t.net.mu.Unlock()
+	t.net.commitMessages += int64(2 * hops)
+	t.commitMsgs += 2 * hops
+	// Phase 1a: feasibility check.
+	for i := 0; i < hops; i++ {
+		idx, d, err := t.net.dir(path[i], path[i+1])
+		if err != nil {
+			return err
+		}
+		ch := &t.net.chans[idx]
+		if ch.bal[d]-ch.held[d] < amount-balanceEpsilon {
+			return ErrInsufficient
+		}
+	}
+	// Phase 1b: reserve.
+	for i := 0; i < hops; i++ {
+		idx, d, _ := t.net.dir(path[i], path[i+1])
+		t.net.chans[idx].held[d] += amount
+	}
+	t.holds = append(t.holds, holdRecord{path: append([]topo.NodeID(nil), path...), amount: amount})
+	return nil
+}
+
+// balanceEpsilon absorbs float64 rounding when a hold asks for exactly
+// the probed balance.
+const balanceEpsilon = 1e-9
+
+// HeldTotal returns the amount currently reserved by this session
+// across all its partial payments.
+func (t *Tx) HeldTotal() float64 {
+	total := 0.0
+	for _, h := range t.holds {
+		total += h.amount
+	}
+	return total
+}
+
+// Commit finalises all held partial payments atomically: every hop u→v
+// moves the held amount from bal(u→v) to bal(v→u), exactly the
+// prototype's CONFIRM_ACK processing. Fees for every hop are accounted
+// in FeesPaid. Commit with nothing held is an error.
+func (t *Tx) Commit() error {
+	if t.finished {
+		return ErrFinished
+	}
+	if len(t.holds) == 0 {
+		return errors.New("pcn: nothing held to commit")
+	}
+	t.net.mu.Lock()
+	defer t.net.mu.Unlock()
+	for _, h := range t.holds {
+		hops := len(h.path) - 1
+		t.net.commitMessages += int64(2 * hops) // CONFIRM + CONFIRM_ACK
+		t.commitMsgs += 2 * hops
+		for i := 0; i < hops; i++ {
+			idx, d, _ := t.net.dir(h.path[i], h.path[i+1])
+			ch := &t.net.chans[idx]
+			ch.held[d] = clampDust(ch.held[d] - h.amount)
+			ch.bal[d] -= h.amount
+			ch.bal[1-d] += h.amount
+			if ch.bal[d] < 0 {
+				// Holds guarantee this cannot happen; clamp rounding dust.
+				ch.bal[1-d] += ch.bal[d]
+				ch.bal[d] = 0
+			}
+			t.feesPaid += ch.fee[d].Fee(h.amount)
+		}
+	}
+	t.finished = true
+	return nil
+}
+
+// Abort releases all holds without moving any balance — the prototype's
+// REVERSE path.
+func (t *Tx) Abort() error {
+	if t.finished {
+		return ErrFinished
+	}
+	t.net.mu.Lock()
+	defer t.net.mu.Unlock()
+	for _, h := range t.holds {
+		hops := len(h.path) - 1
+		t.net.commitMessages += int64(2 * hops) // REVERSE + REVERSE_ACK
+		t.commitMsgs += 2 * hops
+		for i := 0; i < hops; i++ {
+			idx, d, _ := t.net.dir(h.path[i], h.path[i+1])
+			ch := &t.net.chans[idx]
+			ch.held[d] = clampDust(ch.held[d] - h.amount)
+		}
+	}
+	t.finished = true
+	return nil
+}
+
+// clampDust zeroes float64 residue left by add/subtract round-off so a
+// fully released channel reports exactly zero held funds.
+func clampDust(v float64) float64 {
+	if v < balanceEpsilon && v > -balanceEpsilon {
+		return 0
+	}
+	return v
+}
+
+// Finished reports whether the session has been committed or aborted.
+func (t *Tx) Finished() bool { return t.finished }
+
+// ProbeMessages returns the probe messages this session has sent.
+func (t *Tx) ProbeMessages() int { return t.probeMsgs }
+
+// CommitMessages returns the commit-phase messages this session has
+// sent.
+func (t *Tx) CommitMessages() int { return t.commitMsgs }
+
+// FeesPaid returns the total fees charged by intermediate channels for
+// the committed partial payments. Fees are an accounting metric (the
+// paper's Figure 9 reports fee-to-volume ratios); they are not deducted
+// from channel balances.
+func (t *Tx) FeesPaid() float64 { return t.feesPaid }
+
+// PathsUsed returns the number of partial payments held (distinct path
+// uses).
+func (t *Tx) PathsUsed() int { return len(t.holds) }

@@ -1,0 +1,160 @@
+// Package route defines the seam between routing algorithms and the
+// network they run over: a Session is the sender's handle for one
+// payment (probe paths, hold partial payments, commit or abort), and a
+// Router is any algorithm that drives a Session to completion.
+//
+// Both the in-memory simulator (pcn.Tx) and the TCP testbed node
+// sessions implement Session, so the Flash router and every baseline run
+// unchanged in both environments — mirroring how the paper evaluates the
+// same algorithms in simulation (§4) and on the prototype (§5).
+package route
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/pcn"
+	"repro/internal/topo"
+)
+
+// Session is one in-flight payment from the sender's point of view.
+// Implementations must guarantee atomicity: after Commit every held
+// partial payment is applied; after Abort none is.
+type Session interface {
+	// Graph is the sender's locally available topology (§3.1): full
+	// connectivity, no balance information.
+	Graph() *topo.Graph
+	// Sender and Receiver are the payment endpoints; Demand its amount.
+	Sender() topo.NodeID
+	Receiver() topo.NodeID
+	Demand() float64
+
+	// Probe measures the current available balance and fee schedule of
+	// every hop along path, costing messages proportional to path length.
+	Probe(path []topo.NodeID) ([]pcn.HopInfo, error)
+	// LocalBalance is balance knowledge a node has about its own adjacent
+	// channels, free of message cost (used by hop-by-hop schemes).
+	LocalBalance(u, v topo.NodeID) float64
+
+	// Hold reserves amount on every hop of path, or reserves nothing and
+	// returns an error. HeldTotal is the sum of active reservations.
+	Hold(path []topo.NodeID, amount float64) error
+	HeldTotal() float64
+
+	// Commit applies all holds atomically; Abort releases them. Exactly
+	// one of the two must be called, once.
+	Commit() error
+	Abort() error
+
+	// Accounting, cumulated over the session's lifetime.
+	ProbeMessages() int
+	CommitMessages() int
+	FeesPaid() float64
+	PathsUsed() int
+}
+
+// Compile-time check: the in-memory transaction implements Session.
+var _ Session = (*pcn.Tx)(nil)
+
+// Router is a routing algorithm. Route must finish the session: Commit
+// when the full demand has been held (returning nil) or Abort otherwise
+// (returning a non-nil reason). Routers may keep per-sender state (e.g.
+// Flash's mice routing tables) across calls.
+type Router interface {
+	Name() string
+	Route(s Session) error
+}
+
+// Routing failure reasons. Routers wrap or return these so callers can
+// distinguish "no path exists" from "paths exist but lack balance".
+var (
+	ErrNoRoute     = errors.New("route: no path between sender and receiver")
+	ErrInsufficent = errors.New("route: insufficient capacity for demand")
+)
+
+// MinAvailable returns the bottleneck (minimum available balance) of a
+// probed path, or 0 for an empty probe result.
+func MinAvailable(info []pcn.HopInfo) float64 {
+	if len(info) == 0 {
+		return 0
+	}
+	minAvail := math.Inf(1)
+	for _, h := range info {
+		if h.Available < minAvail {
+			minAvail = h.Available
+		}
+	}
+	return minAvail
+}
+
+// PathRate sums the proportional fee rates along a probed path: the
+// per-unit cost of sending value down it (the LP objective coefficient
+// for linear fee schedules).
+func PathRate(info []pcn.HopInfo) float64 {
+	rate := 0.0
+	for _, h := range info {
+		rate += h.Fee.Rate
+	}
+	return rate
+}
+
+// PathFee returns the total fee charged for sending amount along a
+// probed path, including base fees.
+func PathFee(info []pcn.HopInfo, amount float64) float64 {
+	fee := 0.0
+	for _, h := range info {
+		fee += h.Fee.Fee(amount)
+	}
+	return fee
+}
+
+// Epsilon is the tolerance used when comparing held totals against
+// demands: a payment counts as fully funded when it is within Epsilon.
+const Epsilon = 1e-6
+
+// HoldUpTo tries to hold want on path; if the hold is rejected for
+// insufficient balance it probes the path once (paying the message cost)
+// and retries with the measured bottleneck, holding whatever the path
+// can actually carry, up to want. It returns the amount held. This is
+// the "trial-and-error" primitive of Flash's mice routing (§3.3), also
+// used to recover when concurrent holds shrank a previously probed path.
+func HoldUpTo(s Session, path []topo.NodeID, want float64) float64 {
+	if want <= Epsilon {
+		return 0
+	}
+	if err := s.Hold(path, want); err == nil {
+		return want
+	}
+	info, err := s.Probe(path)
+	if err != nil {
+		return 0
+	}
+	avail := MinAvailable(info)
+	amount := math.Min(want, avail)
+	if amount <= Epsilon {
+		return 0
+	}
+	if err := s.Hold(path, amount); err != nil {
+		return 0
+	}
+	return amount
+}
+
+// Finish commits the session when its held total covers the demand and
+// aborts it otherwise, translating the outcome into Route's contract.
+// reason is returned on abort (defaulting to ErrInsufficent).
+func Finish(s Session, reason error) error {
+	if s.HeldTotal() >= s.Demand()-Epsilon {
+		if err := s.Commit(); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := s.Abort(); err != nil {
+		return err
+	}
+	if reason == nil {
+		reason = ErrInsufficent
+	}
+	return reason
+}

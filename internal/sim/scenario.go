@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/pcn"
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Topology kinds understood by BuildNetwork.
+const (
+	KindRipple    = "ripple"    // scale-free, Ripple crawl density, $-denominated
+	KindLightning = "lightning" // scale-free, Lightning snapshot density, satoshi
+	KindTestbed   = "testbed"   // Watts–Strogatz small world (paper §5.2)
+)
+
+// Scheme names understood by NewRouter.
+const (
+	SchemeFlash         = "Flash"
+	SchemeFlashNoOpt    = "Flash-NoOpt"
+	SchemeSpider        = "Spider"
+	SchemeSpeedyMurmurs = "SpeedyMurmurs"
+	SchemeShortestPath  = "ShortestPath"
+	SchemeMaxFlow       = "MaxFlow-FullProbe"
+)
+
+// PaperSchemes is the comparison set of Figures 6 and 7.
+var PaperSchemes = []string{SchemeFlash, SchemeSpider, SchemeSpeedyMurmurs, SchemeShortestPath}
+
+// Scenario describes one experiment cell: a topology, a workload and the
+// schemes to compare on it.
+type Scenario struct {
+	Kind        string  // KindRipple, KindLightning or KindTestbed
+	Nodes       int     // topology size (paper: 1870 Ripple / 2511 Lightning / 50–100 testbed)
+	Txns        int     // number of payments to replay
+	ScaleFactor float64 // capacity scale factor (Figures 6/7 sweep this)
+
+	// MiceFraction sets Flash's elephant threshold as a workload
+	// quantile (paper: 0.9 — 90% of payments are mice).
+	MiceFraction float64
+
+	// FlashK / FlashM override Flash's path counts when > 0 (defaults:
+	// paper's k=20, m=4). FlashMSet forces FlashM to be honoured even
+	// when zero (m=0 routes mice as elephants, Figure 11).
+	FlashK    int
+	FlashM    int
+	FlashMSet bool
+
+	// FlashFixedMiceOrder and FlashProbeAllK select the ablation
+	// variants of core.Config (see that package for semantics).
+	FlashFixedMiceOrder bool
+	FlashProbeAllK      bool
+
+	// TestbedCapLo/Hi set the uniform capacity range for KindTestbed
+	// (paper: [1000,1500), [1500,2000), [2000,2500) USD).
+	TestbedCapLo float64
+	TestbedCapHi float64
+
+	Schemes []string
+	Runs    int
+	Seed    int64
+}
+
+// DefaultScenario returns the paper's base simulation cell for a
+// topology kind: 2000 transactions, capacity scale factor 10, 90% mice,
+// all four schemes, 5 runs.
+func DefaultScenario(kind string, nodes int) Scenario {
+	return Scenario{
+		Kind:         kind,
+		Nodes:        nodes,
+		Txns:         2000,
+		ScaleFactor:  10,
+		MiceFraction: 0.9,
+		Schemes:      PaperSchemes,
+		Runs:         5,
+		Seed:         1,
+	}
+}
+
+// BuildNetwork constructs a funded network of the given kind. Balances
+// follow the paper's setup: Ripple channels are funded log-normally with
+// median ≈$250 split evenly per direction (the paper redistributes
+// Ripple funds evenly); Lightning channels with median ≈500,000 satoshi
+// and a skewed random split (the crawled distribution is used directly);
+// the testbed kind draws uniform capacities in [lo, hi). Fees follow the
+// Figure 9 model on all kinds.
+func BuildNetwork(kind string, nodes int, scale float64, capLo, capHi float64, seed int64) (*pcn.Network, error) {
+	rng := stats.NewRNG(seed, 0x70B0)
+	var (
+		g   *topo.Graph
+		err error
+	)
+	switch kind {
+	case KindRipple:
+		g, err = topo.RippleLike(nodes, rng)
+	case KindLightning:
+		g, err = topo.LightningLike(nodes, rng)
+	case KindTestbed:
+		g, err = topo.WattsStrogatz(nodes, 4, 0.3, rng)
+	default:
+		return nil, fmt.Errorf("sim: unknown topology kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	net := pcn.New(g)
+	balRNG := stats.NewRNG(seed, 0xBA1A)
+	switch kind {
+	case KindRipple:
+		net.AssignBalancesLogNormal(balRNG, 250, 1.5, true)
+	case KindLightning:
+		net.AssignBalancesLogNormal(balRNG, 500000, 2.0, false)
+	case KindTestbed:
+		if capHi <= capLo {
+			capLo, capHi = 1000, 1500
+		}
+		net.AssignBalancesUniform(balRNG, capLo, capHi)
+	}
+	if scale > 0 && scale != 1 {
+		net.ScaleBalances(scale)
+	}
+	net.AssignFeesPaper(stats.NewRNG(seed, 0xFEE5))
+	return net, nil
+}
+
+// workloadFor builds the payment generator matching a topology kind:
+// Ripple trace sizes for Ripple and the testbed (the paper drives the
+// testbed with Ripple volumes), Bitcoin sizes for Lightning (with
+// Ripple-style sender/receiver structure, as the paper maps Ripple pairs
+// onto the Lightning topology).
+func workloadFor(kind string, g *topo.Graph, seed int64) (*trace.Generator, error) {
+	cfg := trace.DefaultConfig(g.NumNodes())
+	cfg.Graph = g
+	cfg.Seed = seed
+	if kind == KindLightning {
+		cfg.Sizes = trace.BitcoinSizes
+	}
+	return trace.NewGenerator(cfg)
+}
+
+// NewRouter instantiates a scheme by name with the paper's parameters.
+// threshold is the elephant threshold for Flash variants; k/m override
+// Flash's path counts when kSet/mSet request it. For the ablation
+// variants use NewRouterConfig.
+func NewRouter(name string, threshold float64, k, m int, mSet bool, seed int64) (route.Router, error) {
+	return NewRouterConfig(name, threshold, k, m, mSet, false, false, seed)
+}
+
+// NewRouterConfig is NewRouter with the Flash ablation knobs exposed.
+func NewRouterConfig(name string, threshold float64, k, m int, mSet, fixedOrder, probeAllK bool, seed int64) (route.Router, error) {
+	mkFlash := func(noOpt bool) route.Router {
+		cfg := core.DefaultConfig(threshold)
+		if k > 0 {
+			cfg.K = k
+		}
+		if m > 0 || mSet {
+			cfg.M = m
+		}
+		cfg.DisableFeeOpt = noOpt
+		cfg.FixedMiceOrder = fixedOrder
+		cfg.ProbeAllK = probeAllK
+		cfg.Seed = seed
+		return core.New(cfg)
+	}
+	switch name {
+	case SchemeFlash:
+		return mkFlash(false), nil
+	case SchemeFlashNoOpt:
+		return mkFlash(true), nil
+	case SchemeSpider:
+		return baseline.NewSpider(4), nil
+	case SchemeSpeedyMurmurs:
+		return baseline.NewSpeedyMurmurs(3), nil
+	case SchemeShortestPath:
+		return baseline.NewShortestPath(), nil
+	case SchemeMaxFlow:
+		return baseline.NewMaxFlowFullProbe(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %q", name)
+	}
+}
+
+// SchemeResult collects the per-run metrics of one scheme in a
+// scenario.
+type SchemeResult struct {
+	Scheme string
+	Runs   []Metrics
+}
+
+// Mean applies f to every run and returns the mean.
+func (r SchemeResult) Mean(f func(Metrics) float64) float64 {
+	if len(r.Runs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m := range r.Runs {
+		sum += f(m)
+	}
+	return sum / float64(len(r.Runs))
+}
+
+// Summary applies f to every run and returns min/mean/max.
+func (r SchemeResult) Summary(f func(Metrics) float64) stats.Summary {
+	var s stats.Summary
+	for _, m := range r.Runs {
+		s.Add(f(m))
+	}
+	return s
+}
+
+// RunScenario executes a scenario: Runs independent repetitions, each
+// with a fresh topology, balance assignment and workload (all seeded),
+// replaying the identical payment sequence once per scheme from
+// identical starting balances.
+func RunScenario(sc Scenario) ([]SchemeResult, error) {
+	if sc.Runs < 1 {
+		sc.Runs = 1
+	}
+	if sc.MiceFraction == 0 {
+		sc.MiceFraction = 0.9
+	}
+	results := make([]SchemeResult, len(sc.Schemes))
+	for i, s := range sc.Schemes {
+		results[i] = SchemeResult{Scheme: s}
+	}
+	for run := 0; run < sc.Runs; run++ {
+		runSeed := sc.Seed + int64(run)*7919
+		net, err := BuildNetwork(sc.Kind, sc.Nodes, sc.ScaleFactor, sc.TestbedCapLo, sc.TestbedCapHi, runSeed)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workloadFor(sc.Kind, net.Graph(), runSeed)
+		if err != nil {
+			return nil, err
+		}
+		payments := gen.Generate(sc.Txns)
+		threshold := core.ThresholdForMiceFraction(trace.Amounts(payments), sc.MiceFraction)
+		snap := net.Snapshot()
+		for i, scheme := range sc.Schemes {
+			if err := net.Restore(snap); err != nil {
+				return nil, err
+			}
+			r, err := NewRouterConfig(scheme, threshold, sc.FlashK, sc.FlashM, sc.FlashMSet,
+				sc.FlashFixedMiceOrder, sc.FlashProbeAllK, runSeed)
+			if err != nil {
+				return nil, err
+			}
+			m, err := Run(net, r, payments, threshold)
+			if err != nil {
+				return nil, err
+			}
+			results[i].Runs = append(results[i].Runs, m)
+		}
+	}
+	return results, nil
+}
+
+// randPerm is a tiny helper kept for tests that need deterministic
+// shuffles tied to a seed.
+func randPerm(n int, seed int64) []int {
+	return rand.New(rand.NewSource(seed)).Perm(n)
+}

@@ -1,0 +1,152 @@
+// Package sim replays payment workloads against a payment channel
+// network under a chosen routing scheme and collects the paper's
+// evaluation metrics: success ratio, success volume, probing messages,
+// and fee-to-volume ratio (§4.1 "Metrics"), plus processing delay for
+// the testbed-style comparisons.
+//
+// Payments arrive at senders sequentially, exactly as in the paper's
+// simulation setup.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pcn"
+	"repro/internal/route"
+	"repro/internal/trace"
+)
+
+// Metrics aggregates one simulation run. Mice/elephant sub-metrics are
+// classified against the threshold passed to Run.
+type Metrics struct {
+	Payments      int
+	Successes     int
+	SuccessVolume float64
+	AttemptVolume float64
+
+	FeesPaid       float64
+	ProbeMessages  int64
+	CommitMessages int64
+
+	MicePayments       int
+	MiceSuccesses      int
+	MiceSuccessVolume  float64
+	MiceProbeMessages  int64
+	ElephantPayments   int
+	ElephantSuccesses  int
+	ElephantSuccessVol float64
+	ElephantProbeMsgs  int64
+
+	TotalDelay time.Duration
+	MiceDelay  time.Duration
+}
+
+// SuccessRatio is the fraction of payments fully delivered.
+func (m Metrics) SuccessRatio() float64 {
+	if m.Payments == 0 {
+		return 0
+	}
+	return float64(m.Successes) / float64(m.Payments)
+}
+
+// MiceSuccessRatio is the success ratio over mice payments only.
+func (m Metrics) MiceSuccessRatio() float64 {
+	if m.MicePayments == 0 {
+		return 0
+	}
+	return float64(m.MiceSuccesses) / float64(m.MicePayments)
+}
+
+// FeeRatio is total fees over delivered volume (the paper's Figure 9
+// metric, "unit transaction fees in percentage ... obtained over all
+// payments").
+func (m Metrics) FeeRatio() float64 {
+	if m.SuccessVolume == 0 {
+		return 0
+	}
+	return m.FeesPaid / m.SuccessVolume
+}
+
+// MeanDelay is the average per-payment processing time.
+func (m Metrics) MeanDelay() time.Duration {
+	if m.Payments == 0 {
+		return 0
+	}
+	return m.TotalDelay / time.Duration(m.Payments)
+}
+
+// MeanMiceDelay is the average processing time of mice payments.
+func (m Metrics) MeanMiceDelay() time.Duration {
+	if m.MicePayments == 0 {
+		return 0
+	}
+	return m.MiceDelay / time.Duration(m.MicePayments)
+}
+
+// String renders the headline numbers.
+func (m Metrics) String() string {
+	return fmt.Sprintf("success %d/%d (%.1f%%), volume %.4g, probes %d, feeRatio %.3f%%",
+		m.Successes, m.Payments, 100*m.SuccessRatio(), m.SuccessVolume,
+		m.ProbeMessages, 100*m.FeeRatio())
+}
+
+// Run replays payments sequentially over net using r. miceThreshold
+// classifies payments for the per-class metrics (payments with amount ≤
+// miceThreshold are mice); it does not influence routing — routers carry
+// their own thresholds.
+func Run(net *pcn.Network, r route.Router, payments []trace.Payment, miceThreshold float64) (Metrics, error) {
+	var m Metrics
+	for _, p := range payments {
+		if p.Sender == p.Receiver || p.Amount <= 0 {
+			continue
+		}
+		isMouse := p.Amount <= miceThreshold
+		m.Payments++
+		m.AttemptVolume += p.Amount
+		if isMouse {
+			m.MicePayments++
+		} else {
+			m.ElephantPayments++
+		}
+
+		tx, err := net.Begin(p.Sender, p.Receiver, p.Amount)
+		if err != nil {
+			return m, fmt.Errorf("sim: payment %d: %w", p.ID, err)
+		}
+		start := time.Now()
+		rerr := r.Route(tx)
+		elapsed := time.Since(start)
+		if !tx.Finished() {
+			// Defensive: a router must finish its session; treat an
+			// unfinished one as failed and release its holds.
+			if aerr := tx.Abort(); aerr != nil {
+				return m, fmt.Errorf("sim: payment %d left unfinished and unabortable: %w", p.ID, aerr)
+			}
+			rerr = fmt.Errorf("sim: router %s left session unfinished", r.Name())
+		}
+
+		m.TotalDelay += elapsed
+		m.ProbeMessages += int64(tx.ProbeMessages())
+		m.CommitMessages += int64(tx.CommitMessages())
+		if isMouse {
+			m.MiceDelay += elapsed
+			m.MiceProbeMessages += int64(tx.ProbeMessages())
+		} else {
+			m.ElephantProbeMsgs += int64(tx.ProbeMessages())
+		}
+		if rerr == nil {
+			m.Successes++
+			m.SuccessVolume += p.Amount
+			m.FeesPaid += tx.FeesPaid()
+			if isMouse {
+				m.MiceSuccesses++
+				m.MiceSuccessVolume += p.Amount
+			} else {
+				m.ElephantSuccesses++
+				m.ElephantSuccessVol += p.Amount
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LogNormal draws from a log-normal distribution with the given median and
+// shape sigma (the standard deviation of the underlying normal). The
+// Ripple/Bitcoin payment-size bodies in the paper's traces are modelled
+// this way.
+func LogNormal(rng *rand.Rand, median, sigma float64) float64 {
+	return median * math.Exp(rng.NormFloat64()*sigma)
+}
+
+// Pareto draws from a Pareto(xm, alpha) distribution: heavy-tailed with
+// minimum xm. Used for the elephant tail of the payment-size mixtures.
+func Pareto(rng *rand.Rand, xm, alpha float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Zipf draws an integer in [0, n) with probability proportional to
+// 1/(rank+1)^s. It is used for clustered receiver selection (a sender's
+// top-5 recurring receivers dominate, per the paper's Figure 4b).
+type Zipf struct {
+	cum []float64 // cumulative unnormalised weights
+}
+
+// NewZipf precomputes the cumulative weight table for n ranks with
+// exponent s. n must be ≥ 1.
+func NewZipf(n int, s float64) *Zipf {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Draw samples a rank in [0, n).
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	target := rng.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }

@@ -1,0 +1,204 @@
+// Package topo models the connectivity structure of an offchain network:
+// an undirected multigraph-free graph of nodes joined by payment
+// channels. Channel balances live elsewhere (package pcn); topo holds
+// only what the paper assumes every node knows locally — the topology
+// without capacity information (§3.1 "Locally available topology").
+//
+// The package also provides the topology generators used in the paper's
+// evaluation: Watts–Strogatz small-world graphs for the testbed (§5.2)
+// and Barabási–Albert scale-free graphs standing in for the Ripple and
+// Lightning crawls (§4.1), plus an edge-list serialisation so real crawl
+// data can be substituted when available.
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are dense indices in [0, NumNodes).
+type NodeID int32
+
+// Edge is an undirected payment channel between two nodes. The
+// constructor canonicalises so A < B.
+type Edge struct {
+	A, B NodeID
+}
+
+// NewEdge returns the canonical Edge with endpoints a and b.
+func NewEdge(a, b NodeID) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// Graph is an undirected graph with O(1) edge lookup and stable channel
+// indices. The zero value is an empty graph; use New to pre-size.
+type Graph struct {
+	adj       [][]NodeID
+	edges     []Edge
+	edgeIndex map[Edge]int
+}
+
+// New returns an empty graph with n nodes and no channels.
+func New(n int) *Graph {
+	return &Graph{
+		adj:       make([][]NodeID, n),
+		edgeIndex: make(map[Edge]int),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumChannels returns the number of undirected channels.
+func (g *Graph) NumChannels() int { return len(g.edges) }
+
+// AddChannel inserts an undirected channel between a and b, returning
+// its stable channel index. Adding an existing channel returns the
+// existing index; self-loops are rejected.
+func (g *Graph) AddChannel(a, b NodeID) (int, error) {
+	if a == b {
+		return -1, fmt.Errorf("topo: self-loop on node %d", a)
+	}
+	if int(a) < 0 || int(a) >= len(g.adj) || int(b) < 0 || int(b) >= len(g.adj) {
+		return -1, fmt.Errorf("topo: node out of range: %d-%d (n=%d)", a, b, len(g.adj))
+	}
+	e := NewEdge(a, b)
+	if idx, ok := g.edgeIndex[e]; ok {
+		return idx, nil
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, e)
+	g.edgeIndex[e] = idx
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	return idx, nil
+}
+
+// MustAddChannel is AddChannel for construction code where the inputs
+// are known valid; it panics on error.
+func (g *Graph) MustAddChannel(a, b NodeID) int {
+	idx, err := g.AddChannel(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// HasChannel reports whether a channel joins a and b.
+func (g *Graph) HasChannel(a, b NodeID) bool {
+	_, ok := g.edgeIndex[NewEdge(a, b)]
+	return ok
+}
+
+// ChannelIndex returns the stable index of the channel joining a and b,
+// or -1 if none exists.
+func (g *Graph) ChannelIndex(a, b NodeID) int {
+	if idx, ok := g.edgeIndex[NewEdge(a, b)]; ok {
+		return idx
+	}
+	return -1
+}
+
+// Channel returns the endpoints of channel idx.
+func (g *Graph) Channel(idx int) Edge { return g.edges[idx] }
+
+// Channels returns the channel list. The caller must not modify it.
+func (g *Graph) Channels() []Edge { return g.edges }
+
+// Neighbors returns the adjacency list of u. The caller must not modify
+// the returned slice.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+
+// Degree returns the number of channels incident to u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.NumNodes())
+	for _, e := range g.edges {
+		c.MustAddChannel(e.A, e.B)
+	}
+	return c
+}
+
+// ComponentOf returns the set of nodes reachable from start, as a sorted
+// slice.
+func (g *Graph) ComponentOf(start NodeID) []NodeID {
+	seen := make([]bool, g.NumNodes())
+	queue := []NodeID{start}
+	seen[start] = true
+	var comp []NodeID
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		comp = append(comp, u)
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+	return comp
+}
+
+// Connected reports whether every node is reachable from node 0 (true
+// for the empty and single-node graphs).
+func (g *Graph) Connected() bool {
+	if g.NumNodes() <= 1 {
+		return true
+	}
+	return len(g.ComponentOf(0)) == g.NumNodes()
+}
+
+// LargestComponent returns the node set of the largest connected
+// component.
+func (g *Graph) LargestComponent() []NodeID {
+	seen := make([]bool, g.NumNodes())
+	var best []NodeID
+	for u := 0; u < g.NumNodes(); u++ {
+		if seen[u] {
+			continue
+		}
+		comp := g.ComponentOf(NodeID(u))
+		for _, v := range comp {
+			seen[v] = true
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	return best
+}
+
+// Subgraph returns the induced subgraph on keep, with nodes renumbered
+// densely in the order given, plus the mapping old→new (-1 if dropped).
+func (g *Graph) Subgraph(keep []NodeID) (*Graph, []NodeID) {
+	remap := make([]NodeID, g.NumNodes())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for newID, old := range keep {
+		remap[old] = NodeID(newID)
+	}
+	sub := New(len(keep))
+	for _, e := range g.edges {
+		a, b := remap[e.A], remap[e.B]
+		if a >= 0 && b >= 0 {
+			sub.MustAddChannel(a, b)
+		}
+	}
+	return sub, remap
+}
+
+// AvgDegree returns the mean node degree (2·channels / nodes).
+func (g *Graph) AvgDegree() float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumChannels()) / float64(g.NumNodes())
+}

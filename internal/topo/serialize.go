@@ -1,0 +1,95 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList serialises g in a simple text format:
+//
+//	# flash-topology nodes=<n> channels=<c>
+//	<a> <b>
+//	...
+//
+// one channel per line. Lines starting with '#' are comments.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# flash-topology nodes=%d channels=%d\n", g.NumNodes(), g.NumChannels()); err != nil {
+		return err
+	}
+	for _, e := range g.Channels() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.A, e.B); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. It also
+// accepts plain edge lists without the header, sizing the graph to the
+// largest node ID seen. Real crawl data (e.g. the Ripple dataset the
+// paper uses) can be converted to this format and dropped in.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var pairs [][2]NodeID
+	declared := -1
+	maxID := NodeID(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if n, ok := parseHeaderNodes(line); ok {
+				declared = n
+			}
+			continue
+		}
+		var a, b NodeID
+		if _, err := fmt.Sscanf(line, "%d %d", &a, &b); err != nil {
+			return nil, fmt.Errorf("topo: line %d: %q: %w", lineNo, line, err)
+		}
+		if a < 0 || b < 0 {
+			return nil, fmt.Errorf("topo: line %d: negative node id", lineNo)
+		}
+		if a > maxID {
+			maxID = a
+		}
+		if b > maxID {
+			maxID = b
+		}
+		pairs = append(pairs, [2]NodeID{a, b})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	n := int(maxID) + 1
+	if declared >= 0 {
+		if declared < n {
+			return nil, fmt.Errorf("topo: header declares %d nodes but edge list references node %d", declared, maxID)
+		}
+		n = declared
+	}
+	g := New(n)
+	for _, p := range pairs {
+		if _, err := g.AddChannel(p[0], p[1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func parseHeaderNodes(line string) (int, bool) {
+	for _, field := range strings.Fields(line) {
+		var n int
+		if _, err := fmt.Sscanf(field, "nodes=%d", &n); err == nil {
+			return n, true
+		}
+	}
+	return 0, false
+}

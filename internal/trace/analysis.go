@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// SizeCDF builds the empirical payment-size CDF — the Figure 3 curve.
+func SizeCDF(ps []Payment) *stats.CDF {
+	return stats.NewCDF(Amounts(ps))
+}
+
+// SizeStats summarises the heavy-tail statistics the paper reports for
+// Figure 3.
+type SizeStats struct {
+	Median      float64 // median payment size
+	P90         float64 // 90th percentile (the elephant threshold zone)
+	Top10Share  float64 // fraction of volume held by the largest 10%
+	TotalVolume float64
+}
+
+// AnalyzeSizes computes SizeStats for a trace.
+func AnalyzeSizes(ps []Payment) SizeStats {
+	c := SizeCDF(ps)
+	total := 0.0
+	for _, p := range ps {
+		total += p.Amount
+	}
+	return SizeStats{
+		Median:      c.Quantile(0.5),
+		P90:         c.Quantile(0.9),
+		Top10Share:  c.TopShare(0.10),
+		TotalVolume: total,
+	}
+}
+
+type pair struct {
+	s, r topo.NodeID
+}
+
+// RecurringPerDay returns, for each 24-hour window in the trace, the
+// fraction of that day's transactions that are recurring — i.e. their
+// sender→receiver pair occurs more than once within the window. This is
+// the paper's Figure 4a statistic (median ≈86% in the Ripple trace).
+func RecurringPerDay(ps []Payment) []float64 {
+	days := groupByDay(ps)
+	if len(days) == 0 {
+		return nil
+	}
+	fracs := make([]float64, 0, len(days))
+	for _, day := range days {
+		counts := make(map[pair]int)
+		for _, p := range day {
+			counts[pair{p.Sender, p.Receiver}]++
+		}
+		recurring := 0
+		for _, p := range day {
+			if counts[pair{p.Sender, p.Receiver}] >= 2 {
+				recurring++
+			}
+		}
+		fracs = append(fracs, float64(recurring)/float64(len(day)))
+	}
+	return fracs
+}
+
+// Top5RecurringShare returns, for each day, the average (over senders
+// with recurring transactions) share of a sender's recurring
+// transactions that go to its 5 most frequent receivers — Figure 4b
+// (paper: >70%).
+func Top5RecurringShare(ps []Payment) []float64 {
+	return TopKRecurringShare(ps, 5)
+}
+
+// TopKRecurringShare generalises Top5RecurringShare to arbitrary k.
+func TopKRecurringShare(ps []Payment, k int) []float64 {
+	days := groupByDay(ps)
+	shares := make([]float64, 0, len(days))
+	for _, day := range days {
+		// Count per-sender, per-receiver recurring transactions.
+		perSender := make(map[topo.NodeID]map[topo.NodeID]int)
+		counts := make(map[pair]int)
+		for _, p := range day {
+			counts[pair{p.Sender, p.Receiver}]++
+		}
+		for _, p := range day {
+			if counts[pair{p.Sender, p.Receiver}] < 2 {
+				continue // not recurring
+			}
+			m, ok := perSender[p.Sender]
+			if !ok {
+				m = make(map[topo.NodeID]int)
+				perSender[p.Sender] = m
+			}
+			m[p.Receiver]++
+		}
+		if len(perSender) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, m := range perSender {
+			sum += topKShare(m, k)
+		}
+		shares = append(shares, sum/float64(len(perSender)))
+	}
+	return shares
+}
+
+// topKShare returns the fraction of the count mass held by the k
+// largest entries.
+func topKShare(m map[topo.NodeID]int, k int) float64 {
+	counts := make([]int, 0, len(m))
+	total := 0
+	for _, c := range m {
+		counts = append(counts, c)
+		total += c
+	}
+	// Partial selection sort of the top k.
+	for i := 0; i < k && i < len(counts); i++ {
+		maxJ := i
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[maxJ] {
+				maxJ = j
+			}
+		}
+		counts[i], counts[maxJ] = counts[maxJ], counts[i]
+	}
+	top := 0
+	for i := 0; i < k && i < len(counts); i++ {
+		top += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// groupByDay buckets payments into 24-hour windows, preserving order.
+func groupByDay(ps []Payment) [][]Payment {
+	if len(ps) == 0 {
+		return nil
+	}
+	buckets := make(map[int][]Payment)
+	maxDay := 0
+	for _, p := range ps {
+		d := p.Day()
+		buckets[d] = append(buckets[d], p)
+		if d > maxDay {
+			maxDay = d
+		}
+	}
+	days := make([][]Payment, 0, len(buckets))
+	for d := 0; d <= maxDay; d++ {
+		if b, ok := buckets[d]; ok {
+			days = append(days, b)
+		}
+	}
+	return days
+}

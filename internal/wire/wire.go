@@ -1,0 +1,305 @@
+// Package wire implements the prototype's message format (paper §5.1,
+// Table 1) and its framing over TCP streams.
+//
+// Every message carries: a transaction ID identifying the (partial)
+// payment, a message type, the complete source-routed path, the probed
+// capacity information accumulated along the path, and the committed
+// amount of funds. Messages are exchanged as length-prefixed binary
+// frames in big-endian byte order.
+//
+// Beyond Table 1 the format carries two reproduction-motivated
+// extensions, both documented in DESIGN.md: the reverse-direction
+// balances (Algorithm 1 records both directions of a probed channel)
+// and per-hop fee rates (§3.2: fee information is collected during
+// probing).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/topo"
+)
+
+// Type enumerates the protocol's message types (§5.1).
+type Type uint8
+
+// Message types. The Probe pair implements balance collection; the
+// Commit/Confirm/Reverse triples implement the two-phase commit.
+const (
+	TypeInvalid    Type = iota
+	TypeProbe           // sender → receiver: collect per-hop balances
+	TypeProbeAck        // receiver → sender: probed balances coming back
+	TypeCommit          // phase 1: reserve funds along the path
+	TypeCommitAck       // receiver → sender: all hops reserved
+	TypeCommitNack      // failing hop → sender: reservation failed, prefix rolled back
+	TypeConfirm         // phase 2: finalise a reserved sub-payment
+	TypeConfirmAck      // receiver → sender: finalised, reverse balances credited
+	TypeReverse         // phase 2 alternative: roll back a reserved sub-payment
+	TypeReverseAck      // receiver → sender: rollback complete
+	typeMax
+)
+
+var typeNames = [...]string{
+	"INVALID", "PROBE", "PROBE_ACK", "COMMIT", "COMMIT_ACK",
+	"COMMIT_NACK", "CONFIRM", "CONFIRM_ACK", "REVERSE", "REVERSE_ACK",
+}
+
+// String returns the protocol name of the type.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Valid reports whether t is a defined message type.
+func (t Type) Valid() bool { return t > TypeInvalid && t < typeMax }
+
+// Message is one protocol message (Table 1).
+type Message struct {
+	// TransID uniquely identifies a (partial) payment. Multipath
+	// sub-payments get distinct IDs from the same sender.
+	TransID uint64
+	// Type is the message type.
+	Type Type
+	// Path is the complete source route. Forward messages run
+	// Path[0]→Path[len-1]; acknowledgement types carry the reversed
+	// path, exactly as the prototype "replaces the Path field with the
+	// reversed version of the forward path".
+	Path []topo.NodeID
+	// Pos is the index (into Path) of the node the message is currently
+	// at; the receiver of a frame is Path[Pos].
+	Pos uint16
+	// Capacity accumulates, per forward hop, the probed available
+	// balance (PROBE) — Table 1's Capacity field.
+	Capacity []float64
+	// ReverseCap accumulates the reverse-direction balances (extension
+	// for Algorithm 1 lines 20–22).
+	ReverseCap []float64
+	// FeeRate accumulates per-hop proportional fee rates (extension,
+	// §3.2).
+	FeeRate []float64
+	// Commit is the amount of funds this message commits, confirms or
+	// reverses — Table 1's Commit field.
+	Commit float64
+}
+
+// Framing and sanity limits.
+const (
+	// MaxPathLen bounds source routes; offchain paths are short (the
+	// paper's topologies have diameters well under 20).
+	MaxPathLen = 1024
+	// MaxFrameSize bounds a whole frame, derived from MaxPathLen.
+	MaxFrameSize = 64 * 1024
+)
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
+	ErrMalformed     = errors.New("wire: malformed message")
+)
+
+// Next returns the node the message visits after the current one, or -1
+// at the end of the path.
+func (m *Message) Next() topo.NodeID {
+	if int(m.Pos)+1 < len(m.Path) {
+		return m.Path[m.Pos+1]
+	}
+	return -1
+}
+
+// Prev returns the node before the current one, or -1 at the start.
+func (m *Message) Prev() topo.NodeID {
+	if m.Pos > 0 && int(m.Pos) <= len(m.Path) {
+		return m.Path[m.Pos-1]
+	}
+	return -1
+}
+
+// Current returns the node the message is at.
+func (m *Message) Current() topo.NodeID {
+	if int(m.Pos) < len(m.Path) {
+		return m.Path[m.Pos]
+	}
+	return -1
+}
+
+// AtEnd reports whether the message has reached the last path node.
+func (m *Message) AtEnd() bool { return int(m.Pos) == len(m.Path)-1 }
+
+// ReversedPath returns the path reversed — used when turning a forward
+// message into its acknowledgement.
+func (m *Message) ReversedPath() []topo.NodeID {
+	rev := make([]topo.NodeID, len(m.Path))
+	for i, u := range m.Path {
+		rev[len(m.Path)-1-i] = u
+	}
+	return rev
+}
+
+// appendTo serialises the message body (without the length prefix).
+func (m *Message) appendTo(buf []byte) ([]byte, error) {
+	if len(m.Path) > MaxPathLen {
+		return nil, fmt.Errorf("%w: path length %d", ErrMalformed, len(m.Path))
+	}
+	if len(m.Capacity) > MaxPathLen || len(m.ReverseCap) > MaxPathLen || len(m.FeeRate) > MaxPathLen {
+		return nil, fmt.Errorf("%w: capacity vector too long", ErrMalformed)
+	}
+	if !m.Type.Valid() {
+		return nil, fmt.Errorf("%w: invalid type %d", ErrMalformed, m.Type)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, m.TransID)
+	buf = append(buf, byte(m.Type))
+	buf = binary.BigEndian.AppendUint16(buf, m.Pos)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Path)))
+	for _, u := range m.Path {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(u))
+	}
+	for _, vec := range [][]float64{m.Capacity, m.ReverseCap, m.FeeRate} {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(vec)))
+		for _, v := range vec {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Commit))
+	return buf, nil
+}
+
+// Encode serialises the message as a length-prefixed frame.
+func Encode(m *Message) ([]byte, error) {
+	body, err := m.appendTo(make([]byte, 0, 64+8*len(m.Path)))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	frame := make([]byte, 0, 4+len(body))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
+	return append(frame, body...), nil
+}
+
+// WriteMessage frames and writes m to w.
+func WriteMessage(w io.Writer, m *Message) error {
+	frame, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadMessage reads one length-prefixed frame from r and decodes it.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return Decode(body)
+}
+
+// Decode parses a frame body produced by Encode.
+func Decode(body []byte) (*Message, error) {
+	d := decoder{buf: body}
+	m := &Message{}
+	m.TransID = d.uint64()
+	m.Type = Type(d.uint8())
+	m.Pos = d.uint16()
+	pathLen := int(d.uint16())
+	if pathLen > MaxPathLen {
+		return nil, fmt.Errorf("%w: path length %d", ErrMalformed, pathLen)
+	}
+	if pathLen > 0 {
+		m.Path = make([]topo.NodeID, pathLen)
+		for i := range m.Path {
+			m.Path[i] = topo.NodeID(d.uint32())
+		}
+	}
+	for _, vec := range []*[]float64{&m.Capacity, &m.ReverseCap, &m.FeeRate} {
+		vlen := int(d.uint16())
+		if vlen > MaxPathLen {
+			return nil, fmt.Errorf("%w: vector length %d", ErrMalformed, vlen)
+		}
+		if vlen > 0 {
+			*vec = make([]float64, vlen)
+			for i := range *vec {
+				(*vec)[i] = math.Float64frombits(d.uint64())
+			}
+		}
+	}
+	m.Commit = math.Float64frombits(d.uint64())
+	if d.failed {
+		return nil, fmt.Errorf("%w: truncated frame", ErrMalformed)
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(d.buf)-d.off)
+	}
+	if !m.Type.Valid() {
+		return nil, fmt.Errorf("%w: invalid type %d", ErrMalformed, m.Type)
+	}
+	if int(m.Pos) >= pathLen && pathLen > 0 {
+		return nil, fmt.Errorf("%w: position %d outside path of %d", ErrMalformed, m.Pos, pathLen)
+	}
+	return m, nil
+}
+
+// decoder is a bounds-checked big-endian reader.
+type decoder struct {
+	buf    []byte
+	off    int
+	failed bool
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.failed || d.off+n > len(d.buf) {
+		d.failed = true
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) uint8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}

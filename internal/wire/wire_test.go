@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topo"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		TransID:    0xDEADBEEF12345678,
+		Type:       TypeProbe,
+		Path:       []topo.NodeID{3, 1, 4, 1, 5},
+		Pos:        2,
+		Capacity:   []float64{10.5, 20.25},
+		ReverseCap: []float64{1, 2},
+		FeeRate:    []float64{0.001, 0.05},
+		Commit:     99.75,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, m)
+	}
+}
+
+func TestReadWriteStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Message{
+		sampleMessage(),
+		{TransID: 1, Type: TypeCommit, Path: []topo.NodeID{0, 1}, Commit: 5},
+		{TransID: 2, Type: TypeReverseAck, Path: []topo.NodeID{1, 0}, Pos: 1},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("message %d mismatch: %+v vs %+v", i, got, want)
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Errorf("expected EOF on empty stream, got %v", err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	m := sampleMessage()
+	frame, _ := Encode(m)
+	body := frame[4:]
+
+	// Truncations at every byte offset must error, never panic.
+	for i := 0; i < len(body); i++ {
+		if _, err := Decode(body[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Decode(append(append([]byte{}, body...), 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Invalid type.
+	bad := append([]byte{}, body...)
+	bad[8] = 200
+	if _, err := Decode(bad); err == nil {
+		t.Error("invalid type accepted")
+	}
+	// Position outside path.
+	bad = append([]byte{}, body...)
+	bad[9], bad[10] = 0xFF, 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Error("position outside path accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	long := make([]topo.NodeID, MaxPathLen+1)
+	if _, err := Encode(&Message{Type: TypeProbe, Path: long}); err == nil {
+		t.Error("oversized path accepted")
+	}
+	if _, err := Encode(&Message{Type: TypeInvalid}); err == nil {
+		t.Error("invalid type accepted")
+	}
+	if _, err := Encode(&Message{Type: Type(99)}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestReadMessageFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadMessage(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestPathNavigation(t *testing.T) {
+	m := &Message{Path: []topo.NodeID{7, 8, 9}, Pos: 1}
+	if m.Current() != 8 || m.Prev() != 7 || m.Next() != 9 {
+		t.Errorf("navigation: cur=%d prev=%d next=%d", m.Current(), m.Prev(), m.Next())
+	}
+	m.Pos = 0
+	if m.Prev() != -1 {
+		t.Error("Prev at start should be -1")
+	}
+	m.Pos = 2
+	if m.Next() != -1 || !m.AtEnd() {
+		t.Error("Next at end should be -1 and AtEnd true")
+	}
+	rev := m.ReversedPath()
+	if rev[0] != 9 || rev[2] != 7 {
+		t.Errorf("ReversedPath = %v", rev)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeProbe.String() != "PROBE" || TypeConfirmAck.String() != "CONFIRM_ACK" {
+		t.Error("type names wrong")
+	}
+	if Type(77).String() == "" {
+		t.Error("unknown type should still stringify")
+	}
+	if TypeInvalid.Valid() || Type(99).Valid() {
+		t.Error("invalid types reported valid")
+	}
+}
+
+// Property: encode→decode is the identity for arbitrary valid messages.
+func TestRoundTripProperty(t *testing.T) {
+	gen := func(r *rand.Rand) *Message {
+		pathLen := 2 + r.Intn(8)
+		m := &Message{
+			TransID: r.Uint64(),
+			Type:    Type(1 + r.Intn(int(typeMax)-1)),
+			Pos:     uint16(r.Intn(pathLen)),
+			Commit:  r.Float64() * 1e6,
+		}
+		m.Path = make([]topo.NodeID, pathLen)
+		for i := range m.Path {
+			m.Path[i] = topo.NodeID(r.Intn(1 << 20))
+		}
+		for i := 0; i < r.Intn(pathLen); i++ {
+			m.Capacity = append(m.Capacity, r.Float64()*1e9)
+			m.ReverseCap = append(m.ReverseCap, r.Float64()*1e9)
+			m.FeeRate = append(m.FeeRate, r.Float64())
+		}
+		return m
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := gen(r)
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(frame[4:])
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random byte blobs never panic the decoder.
+func TestDecodeFuzzProperty(t *testing.T) {
+	f := func(blob []byte) bool {
+		Decode(blob) // must not panic; errors are fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := sampleMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	frame, _ := Encode(sampleMessage())
+	body := frame[4:]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
