@@ -20,13 +20,14 @@ import (
 
 func main() {
 	var (
-		figs = flag.String("fig", "all", "comma-separated figure list (3,4,6,7,8,9,10,11,12,13,headline,ablations) or 'all'")
-		full = flag.Bool("full", false, "paper-scale parameters (slower)")
-		seed = flag.Int64("seed", 1, "base random seed")
+		figs    = flag.String("fig", "all", "comma-separated figure list (3,4,6,7,8,9,10,11,12,13,headline,ablations) or 'all'")
+		full    = flag.Bool("full", false, "paper-scale parameters (slower)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		workers = flag.Int("workers", 0, "goroutines for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
-	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout}
+	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout, Workers: *workers}
 	runners := map[string]func(exp.Options) error{
 		"3":         exp.Fig3,
 		"4":         exp.Fig4,

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -22,33 +23,41 @@ import (
 
 func main() {
 	var (
-		kind    = flag.String("kind", sim.KindRipple, "topology kind: ripple, lightning or testbed")
-		nodes   = flag.Int("nodes", 1870, "number of nodes")
-		txns    = flag.Int("txns", 2000, "number of transactions")
-		scale   = flag.Float64("scale", 10, "capacity scale factor")
-		mice    = flag.Float64("mice", 0.9, "fraction of payments classified as mice")
-		schemes = flag.String("schemes", strings.Join(sim.PaperSchemes, ","), "comma-separated scheme list")
-		runs    = flag.Int("runs", 5, "independent runs to average")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		flashK  = flag.Int("k", 0, "Flash elephant path budget (0 = paper default 20)")
-		flashM  = flag.Int("m", -1, "Flash mice paths per receiver (-1 = paper default 4; 0 routes mice as elephants)")
-		capLo   = flag.Float64("caplo", 1000, "testbed capacity range low")
-		capHi   = flag.Float64("caphi", 1500, "testbed capacity range high")
+		kind     = flag.String("kind", sim.KindRipple, "topology kind: ripple, lightning or testbed")
+		nodes    = flag.Int("nodes", 1870, "number of nodes")
+		txns     = flag.Int("txns", 2000, "number of transactions")
+		scale    = flag.Float64("scale", 10, "capacity scale factor")
+		mice     = flag.Float64("mice", 0.9, "fraction of payments classified as mice")
+		schemes  = flag.String("schemes", strings.Join(sim.PaperSchemes, ","), "comma-separated scheme list")
+		runs     = flag.Int("runs", 5, "independent runs to average")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		flashK   = flag.Int("k", 0, "Flash elephant path budget (0 = paper default 20)")
+		flashM   = flag.Int("m", -1, "Flash mice paths per receiver (-1 = paper default 4; 0 routes mice as elephants)")
+		capLo    = flag.Float64("caplo", 1000, "testbed capacity range low")
+		capHi    = flag.Float64("caphi", 1500, "testbed capacity range high")
+		workers  = flag.Int("workers", 1, "concurrent payment workers per scheme replay (1 = sequential, 0 = GOMAXPROCS)")
+		parallel = flag.Bool("parallelschemes", false, "run the schemes of each repetition concurrently on identically-seeded networks")
 	)
 	flag.Parse()
 
+	conc := *workers
+	if conc == 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
 	sc := sim.Scenario{
-		Kind:         *kind,
-		Nodes:        *nodes,
-		Txns:         *txns,
-		ScaleFactor:  *scale,
-		MiceFraction: *mice,
-		Schemes:      splitList(*schemes),
-		Runs:         *runs,
-		Seed:         *seed,
-		FlashK:       *flashK,
-		TestbedCapLo: *capLo,
-		TestbedCapHi: *capHi,
+		Kind:            *kind,
+		Nodes:           *nodes,
+		Txns:            *txns,
+		ScaleFactor:     *scale,
+		MiceFraction:    *mice,
+		Schemes:         splitList(*schemes),
+		Runs:            *runs,
+		Seed:            *seed,
+		FlashK:          *flashK,
+		TestbedCapLo:    *capLo,
+		TestbedCapHi:    *capHi,
+		Concurrency:     conc,
+		ParallelSchemes: *parallel,
 	}
 	if *flashM >= 0 {
 		sc.FlashM = *flashM
@@ -61,8 +70,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("# kind=%s nodes=%d txns=%d scale=%g mice=%.0f%% runs=%d seed=%d\n",
-		sc.Kind, sc.Nodes, sc.Txns, sc.ScaleFactor, 100*sc.MiceFraction, sc.Runs, sc.Seed)
+	fmt.Printf("# kind=%s nodes=%d txns=%d scale=%g mice=%.0f%% runs=%d seed=%d workers=%d\n",
+		sc.Kind, sc.Nodes, sc.Txns, sc.ScaleFactor, 100*sc.MiceFraction, sc.Runs, sc.Seed, sc.Concurrency)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheme\tsucc.ratio\tsucc.volume\tprobe msgs\tfee ratio\tmean delay")
 	for _, r := range results {

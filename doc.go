@@ -43,6 +43,38 @@
 //	    fmt.Println("delivered 80 across", tx.PathsUsed(), "path(s)")
 //	}
 //
+// # Concurrency model
+//
+// The engine is concurrent end to end; the guarantees, layer by layer:
+//
+//   - pcn: every channel carries its own lock. Operations spanning
+//     several channels (path probes and holds, atomic multi-path
+//     commit/abort) acquire all involved locks in ascending
+//     channel-index order — one global acquisition order, so deadlock
+//     is impossible and disjoint payments never contend. Holds are
+//     feasibility-checked and reserved under the locks, so conflicting
+//     concurrent payments can never overbook a channel.
+//   - core: Flash's routing tables are sharded per sender (an RWMutex
+//     map of per-sender tables, each with its own lock); counters are
+//     atomics. Flash.Prewarm bulk-builds table entries with a bounded
+//     worker pool, running the Yen computations outside any lock.
+//   - sim: RunSimulationOpts{Workers: N} replays a workload with N
+//     goroutines over the shared network, aggregating metrics in
+//     per-worker shards. Workers ≤ 1 is the sequential replay and
+//     reproduces the historical metrics bit-for-bit. With Workers > 1
+//     each payment gets a private RNG seeded from the payment ID
+//     (pcn.Tx.SetRNG / route.RandSource), so random routing choices are
+//     scheduling-independent even though balance interleaving — as in a
+//     real network — is not. Scenario.Concurrency and
+//     Scenario.ParallelSchemes expose the same knobs to experiment
+//     cells; cmd/flashsim and cmd/experiments take -workers flags.
+//
+// Determinism: topology generation, balance assignment and workload
+// synthesis are pure functions of their seeds; sequential replays of
+// identical inputs give identical metrics, and the equivalence tests in
+// internal/sim pin the workers=1 path to golden metrics captured from
+// the pre-concurrency engine.
+//
 // See the examples directory for runnable programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-versus-measured
 // record of every figure.

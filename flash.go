@@ -63,12 +63,18 @@ type (
 	TraceGenerator = trace.Generator
 	// Metrics aggregates a simulation or testbed run.
 	Metrics = sim.Metrics
+	// SimOptions tunes a replay: Workers > 1 dispatches payments to a
+	// concurrent worker pool over the shared network.
+	SimOptions = sim.Options
 	// Scenario describes one experiment cell.
 	Scenario = sim.Scenario
 	// SchemeResult is per-scheme metrics across runs.
 	SchemeResult = sim.SchemeResult
 	// Summary is a min/mean/max aggregate.
 	Summary = stats.Summary
+	// Pair identifies a sender→receiver routing-table slot for
+	// Flash.Prewarm, the parallel mice-table build.
+	Pair = core.Pair
 )
 
 // Topology maintenance (gossip) and payment security (HTLC) — the two
@@ -187,6 +193,20 @@ func DefaultTraceConfig(n int) TraceConfig { return trace.DefaultConfig(n) }
 // RunSimulation replays payments sequentially over net with router r.
 func RunSimulation(net *Network, r Router, payments []Payment, miceThreshold float64) (Metrics, error) {
 	return sim.Run(net, r, payments, miceThreshold)
+}
+
+// RunSimulationOpts is RunSimulation with replay options: Workers > 1
+// replays payments concurrently (deterministic per-payment RNG
+// seeding), Prewarm parallel-builds Flash's routing tables first.
+func RunSimulationOpts(net *Network, r Router, payments []Payment, miceThreshold float64, opts SimOptions) (Metrics, error) {
+	return sim.RunOpts(net, r, payments, miceThreshold, opts)
+}
+
+// BuildContentionFixture constructs the barbell contention fixture:
+// every returned payment crosses one shared bridge channel, the worst
+// case for concurrent holds (see sim.BuildContention).
+func BuildContentionFixture(spokes int, spokeBal, bridgeBal, amount float64) (*Network, []Payment, error) {
+	return sim.BuildContention(spokes, spokeBal, bridgeBal, amount)
 }
 
 // DefaultScenario is the paper's base experiment cell for a topology

@@ -15,6 +15,14 @@
 // One Flash value serves any number of senders: routing tables are keyed
 // by sender, which makes the same instance usable by a whole simulated
 // network or by a single testbed node.
+//
+// Flash is safe for concurrent sessions. Routing tables are sharded per
+// sender — an outer read-mostly map guarded by a RWMutex hands out one
+// table per sender, and each table carries its own lock — so concurrent
+// payments from different senders never contend on table state. All
+// counters are atomics. The only shared mutable hot state is the
+// router's RNG (used for the mice path order), which sessions bypass
+// entirely when they carry a per-payment RNG (route.RandSource).
 package core
 
 import (
@@ -23,7 +31,10 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/route"
 	"repro/internal/topo"
 )
@@ -87,20 +98,22 @@ func DefaultConfig(threshold float64) Config {
 }
 
 // Flash is the routing algorithm. It is safe for concurrent use (the
-// testbed runs one router per node; the simulator shares one across
-// senders).
+// testbed runs one router per node; the simulator shares one across N
+// payment workers). See the package comment for the sharding scheme.
 type Flash struct {
 	cfg Config
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	tables map[topo.NodeID]*routingTable
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
-	elephants     int64
-	mice          int64
-	tableHits     int64
-	tableMisses   int64
-	pathsReplaced int64
+	tablesMu sync.RWMutex
+	tables   map[topo.NodeID]*routingTable
+
+	elephants     atomic.Int64
+	mice          atomic.Int64
+	tableHits     atomic.Int64
+	tableMisses   atomic.Int64
+	pathsReplaced atomic.Int64
 }
 
 // New returns a Flash router with the given configuration. Invalid
@@ -130,14 +143,10 @@ func (f *Flash) Config() Config { return f.cfg }
 // session.
 func (f *Flash) Route(s route.Session) error {
 	if f.isElephant(s.Demand()) || f.cfg.M == 0 {
-		f.mu.Lock()
-		f.elephants++
-		f.mu.Unlock()
+		f.elephants.Add(1)
 		return f.routeElephant(s)
 	}
-	f.mu.Lock()
-	f.mice++
-	f.mu.Unlock()
+	f.mice.Add(1)
 	return f.routeMice(s)
 }
 
@@ -148,11 +157,59 @@ func (f *Flash) isElephant(amount float64) bool {
 
 // Refresh drops all routing tables, as happens when the gossip layer
 // delivers an updated topology (§3.3: "all entries are re-computed using
-// the latest G").
+// the latest G"). Payments already in flight when Refresh is called may
+// finish against the table they fetched — they route on the topology
+// they started with and their late inserts land in the discarded map.
+// That transient staleness mirrors the eventually-consistent gossip
+// layer this models; callers needing a hard barrier must drain their
+// payment workers first.
 func (f *Flash) Refresh() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.tablesMu.Lock()
+	defer f.tablesMu.Unlock()
 	f.tables = make(map[topo.NodeID]*routingTable)
+}
+
+// Pair identifies one (sender, receiver) routing-table slot for
+// Prewarm.
+type Pair struct {
+	Sender, Receiver topo.NodeID
+}
+
+// Prewarm computes the mice routing-table entries (top-M Yen shortest
+// paths per receiver) for the given pairs with a bounded worker pool
+// and installs them, skipping pairs already cached. workers ≤ 0 uses
+// GOMAXPROCS. It returns the number of entries computed. The Yen runs
+// — the expensive part — execute outside any lock, so a prewarmed
+// table costs wall-clock time proportional to pairs/workers instead of
+// serialising on first use. Prewarming does not count towards the
+// hit/miss statistics and does not advance any TTL clock.
+func (f *Flash) Prewarm(g *topo.Graph, pairs []Pair, workers int) int {
+	if f.cfg.M == 0 || len(pairs) == 0 {
+		return 0
+	}
+	var computed atomic.Int64
+	parallel.ForEach(len(pairs), workers, func(_, i int) {
+		p := pairs[i]
+		if p.Sender == p.Receiver {
+			return
+		}
+		tbl := f.tableFor(p.Sender)
+		tbl.mu.Lock()
+		_, exists := tbl.entries[p.Receiver]
+		clock := tbl.clock
+		tbl.mu.Unlock()
+		if exists {
+			return
+		}
+		paths := graph.YenKSP(g, p.Sender, p.Receiver, f.cfg.M)
+		tbl.mu.Lock()
+		if _, exists := tbl.entries[p.Receiver]; !exists {
+			tbl.entries[p.Receiver] = &tableEntry{paths: paths, lastAccess: clock}
+			computed.Add(1)
+		}
+		tbl.mu.Unlock()
+	})
+	return int(computed.Load())
 }
 
 // Stats is a snapshot of the router's internal counters.
@@ -167,18 +224,20 @@ type Stats struct {
 
 // Stats returns a snapshot of the router's counters.
 func (f *Flash) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	entries := 0
+	f.tablesMu.RLock()
 	for _, t := range f.tables {
+		t.mu.Lock()
 		entries += len(t.entries)
+		t.mu.Unlock()
 	}
+	f.tablesMu.RUnlock()
 	return Stats{
-		Elephants:     f.elephants,
-		Mice:          f.mice,
-		TableHits:     f.tableHits,
-		TableMisses:   f.tableMisses,
-		PathsReplaced: f.pathsReplaced,
+		Elephants:     f.elephants.Load(),
+		Mice:          f.mice.Load(),
+		TableHits:     f.tableHits.Load(),
+		TableMisses:   f.tableMisses.Load(),
+		PathsReplaced: f.pathsReplaced.Load(),
 		TableEntries:  entries,
 	}
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/route"
@@ -16,9 +18,11 @@ import (
 const replacementPool = 4
 
 // routingTable is one sender's cache of paths to its recurring
-// receivers (§3.3). clock counts payments routed by this sender and
-// drives TTL eviction.
+// receivers (§3.3), guarded by its own lock — the sharding unit that
+// lets payments from different senders route without contending. clock
+// counts payments routed by this sender and drives TTL eviction.
 type routingTable struct {
+	mu      sync.Mutex
 	entries map[topo.NodeID]*tableEntry
 	clock   int
 }
@@ -28,6 +32,9 @@ type routingTable struct {
 // replacement): the topology is static, so the candidate paths for a
 // pair never change — only which of them currently have balance — and
 // replacements cycle through all via cursor without re-running Yen.
+// Entries are accessed only under their table's lock; the cached path
+// slices themselves are immutable once created, so a path handed out
+// under the lock stays valid after release.
 type tableEntry struct {
 	paths      [][]topo.NodeID
 	all        [][]topo.NodeID // extended Yen list, nil until first needed
@@ -35,26 +42,35 @@ type tableEntry struct {
 	lastAccess int
 }
 
-// table returns (creating if needed) the routing table of sender.
-// Callers must hold f.mu.
-func (f *Flash) table(sender topo.NodeID) *routingTable {
+// tableFor returns (creating if needed) the routing table of sender,
+// taking only the outer map lock — read-locked on the hot path.
+func (f *Flash) tableFor(sender topo.NodeID) *routingTable {
+	f.tablesMu.RLock()
 	t, ok := f.tables[sender]
-	if !ok {
-		t = &routingTable{entries: make(map[topo.NodeID]*tableEntry)}
-		f.tables[sender] = t
+	f.tablesMu.RUnlock()
+	if ok {
+		return t
 	}
+	f.tablesMu.Lock()
+	defer f.tablesMu.Unlock()
+	if t, ok := f.tables[sender]; ok {
+		return t
+	}
+	t = &routingTable{entries: make(map[topo.NodeID]*tableEntry)}
+	f.tables[sender] = t
 	return t
 }
 
-// lookupPaths returns the cached paths for (sender, receiver),
-// computing the top-M Yen shortest paths on a miss ("Upon seeing a new
-// receiver that does not exist in the routing table, the node computes
-// top-m shortest paths"). It also advances the TTL clock and evicts
-// stale entries.
-func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID) *tableEntry {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	t := f.table(sender)
+// lookupPaths returns the sender's table and the cached entry for
+// receiver, computing the top-M Yen shortest paths on a miss ("Upon
+// seeing a new receiver that does not exist in the routing table, the
+// node computes top-m shortest paths"). It also advances the TTL clock
+// and evicts stale entries. The Yen computation runs under the sender's
+// table lock, which blocks only that sender's other payments.
+func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID) (*routingTable, *tableEntry) {
+	t := f.tableFor(sender)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.clock++
 	if f.cfg.TableTTL > 0 {
 		for r, e := range t.entries {
@@ -65,10 +81,10 @@ func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID) *tableE
 	}
 	if e, ok := t.entries[receiver]; ok {
 		e.lastAccess = t.clock
-		f.tableHits++
-		return e
+		f.tableHits.Add(1)
+		return t, e
 	}
-	f.tableMisses++
+	f.tableMisses.Add(1)
 	// A miss computes exactly the paper's top-m paths; the replacement
 	// pool is only materialised when a path actually dies (most entries
 	// never need one, so the common case stays cheap).
@@ -77,7 +93,19 @@ func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID) *tableE
 		lastAccess: t.clock,
 	}
 	t.entries[receiver] = e
-	return e
+	return t, e
+}
+
+// pathAt returns entry's path at slot under the table lock, or nil when
+// a concurrent replacement shrank the entry below slot. The returned
+// slice is immutable and safe to use after the lock is released.
+func (t *routingTable) pathAt(e *tableEntry, slot int) []topo.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if slot >= len(e.paths) {
+		return nil
+	}
+	return e.paths[slot]
 }
 
 // replaceDeadPath swaps out entry's path at slot with the next top
@@ -86,12 +114,14 @@ func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID) *tableE
 // the next top shortest path"). The extended Yen list is computed once
 // per entry on first need; subsequent replacements rotate through it —
 // a path that was dead earlier may have revived, since channel balances
-// move in both directions. Returns the replacement, or nil when the
-// pair has no alternative paths at all (the slot is then dropped).
-func (f *Flash) replaceDeadPath(g *topo.Graph, sender topo.NodeID, e *tableEntry, slot int) []topo.NodeID {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if slot >= len(e.paths) {
+// move in both directions. expected is the path the caller observed at
+// slot: if a concurrent payment already replaced it, nothing is changed
+// and nil is returned. Returns the replacement, or nil when the pair
+// has no alternative paths at all (the slot is then dropped).
+func (f *Flash) replaceDeadPath(g *topo.Graph, sender topo.NodeID, t *routingTable, e *tableEntry, slot int, expected []topo.NodeID) []topo.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if slot >= len(e.paths) || !slices.Equal(e.paths[slot], expected) {
 		return nil
 	}
 	if e.all == nil {
@@ -109,7 +139,7 @@ func (f *Flash) replaceDeadPath(g *topo.Graph, sender topo.NodeID, e *tableEntry
 		e.cursor++
 		if !containsPath(e.paths, cand) {
 			e.paths[slot] = cand
-			f.pathsReplaced++
+			f.pathsReplaced.Add(1)
 			return cand
 		}
 	}
@@ -119,22 +149,9 @@ func (f *Flash) replaceDeadPath(g *topo.Graph, sender topo.NodeID, e *tableEntry
 
 // containsPath reports whether set holds an identical path.
 func containsPath(set [][]topo.NodeID, p []topo.NodeID) bool {
-	for _, q := range set {
-		if len(q) != len(p) {
-			continue
-		}
-		same := true
-		for i := range q {
-			if q[i] != p[i] {
-				same = false
-				break
-			}
-		}
-		if same {
-			return true
-		}
-	}
-	return false
+	return slices.ContainsFunc(set, func(q []topo.NodeID) bool {
+		return slices.Equal(q, p)
+	})
 }
 
 // routeMice is the paper's mice algorithm (§3.3): look the receiver up
@@ -144,24 +161,24 @@ func containsPath(set [][]topo.NodeID, p []topo.NodeID) bool {
 // effective capacity.
 func (f *Flash) routeMice(s route.Session) error {
 	g := s.Graph()
-	entry := f.lookupPaths(g, s.Sender(), s.Receiver())
-	if len(entry.paths) == 0 {
+	tbl, entry := f.lookupPaths(g, s.Sender(), s.Receiver())
+	order := f.pathOrder(s, tbl, entry)
+	if len(order) == 0 {
 		if err := s.Abort(); err != nil {
 			return err
 		}
 		return route.ErrNoRoute
 	}
 
-	order := f.pathOrder(entry)
 	remaining := s.Demand()
 	for _, slot := range order {
 		if remaining <= route.Epsilon {
 			break
 		}
-		if slot >= len(entry.paths) {
+		path := tbl.pathAt(entry, slot)
+		if path == nil {
 			continue // a replacement shrank the table mid-loop
 		}
-		path := entry.paths[slot]
 		// First try the full remainder directly — no probing (this is
 		// where mice routing wins its overhead back: most mice succeed
 		// on the first try).
@@ -179,7 +196,7 @@ func (f *Flash) routeMice(s route.Session) error {
 		if cp <= route.Epsilon {
 			// Dead path: replace with the next pooled Yen path and, if
 			// one exists, give it a chance for this payment too.
-			if next := f.replaceDeadPath(g, s.Sender(), entry, slot); next != nil {
+			if next := f.replaceDeadPath(g, s.Sender(), tbl, entry, slot, path); next != nil {
 				held := route.HoldUpTo(s, next, remaining)
 				remaining -= held
 			}
@@ -199,21 +216,40 @@ func (f *Flash) routeMice(s route.Session) error {
 // pathOrder returns the order in which to try table paths: random by
 // default ("Flash randomly picks the paths to better load balance them
 // without knowing their instantaneous capacities"), or ascending length
-// when the FixedMiceOrder ablation is on.
-func (f *Flash) pathOrder(e *tableEntry) []int {
+// when the FixedMiceOrder ablation is on. The shuffle draws from the
+// session's per-payment RNG when one is attached (route.RandSource), so
+// concurrent replays make scheduling-independent random choices; the
+// router's shared seeded RNG is the sequential fallback.
+func (f *Flash) pathOrder(s route.Session, t *routingTable, e *tableEntry) []int {
+	t.mu.Lock()
 	n := len(e.paths)
+	var lengths []int
+	if f.cfg.FixedMiceOrder {
+		lengths = make([]int, n)
+		for i, p := range e.paths {
+			lengths[i] = len(p)
+		}
+	}
+	t.mu.Unlock()
+
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
 	if f.cfg.FixedMiceOrder {
 		sort.Slice(order, func(a, b int) bool {
-			return len(e.paths[order[a]]) < len(e.paths[order[b]])
+			return lengths[order[a]] < lengths[order[b]]
 		})
 		return order
 	}
-	f.mu.Lock()
+	if rs, ok := s.(route.RandSource); ok {
+		if rng := rs.RNG(); rng != nil {
+			rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+			return order
+		}
+	}
+	f.rngMu.Lock()
 	f.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
-	f.mu.Unlock()
+	f.rngMu.Unlock()
 	return order
 }

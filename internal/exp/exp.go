@@ -13,8 +13,10 @@ package exp
 import (
 	"fmt"
 	"io"
+	"strings"
 	"text/tabwriter"
 
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -26,6 +28,30 @@ type Options struct {
 	Tiny bool      // drastically shrunk sizes, for unit tests
 	Seed int64     // base seed (default 1)
 	Out  io.Writer // destination for tables (required)
+
+	// Workers bounds the goroutines running independent scenario cells
+	// of the sweep figures (6 and 7) concurrently. 0 uses GOMAXPROCS;
+	// 1 forces the historical fully sequential sweep. Cell results are
+	// deterministic functions of the seed, so the printed tables are
+	// identical at any worker count — only wall-clock time changes.
+	Workers int
+}
+
+// runCells executes n independent cell functions on the Options.Workers
+// pool, preserving index order of results. Each cell returns its
+// formatted table rows; errors abort the whole figure.
+func (o Options) runCells(n int, cell func(i int) (string, error)) ([]string, error) {
+	rows := make([]string, n)
+	errs := make([]error, n)
+	parallel.ForEach(n, o.Workers, func(_, i int) {
+		rows[i], errs[i] = cell(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }
 
 func (o Options) seed() int64 {
@@ -176,6 +202,8 @@ func probesOf(r sim.SchemeResult) float64 {
 
 // Fig6 sweeps the capacity scale factor (1–60) on both topologies and
 // reports success ratio and success volume per scheme — panels (a)–(d).
+// The scenario cells of a sweep are independent, so they run on the
+// Options.Workers pool; rows are printed in sweep order regardless.
 func Fig6(o Options) error {
 	o.header("Figure 6", "success ratio & volume vs capacity scale factor")
 	factors := []float64{1, 10, 20, 30, 40, 50, 60}
@@ -186,7 +214,8 @@ func Fig6(o Options) error {
 		}
 		fmt.Fprintf(o.Out, "-- %s --\n", kindLabel(kind))
 		w := o.table("scale\tscheme\tsucc.ratio\tsucc.volume")
-		for _, f := range factors {
+		rows, err := o.runCells(len(factors), func(i int) (string, error) {
+			f := factors[i]
 			sc := sim.DefaultScenario(kind, nodes)
 			sc.ScaleFactor = f
 			sc.Txns = o.txns(sc.Txns)
@@ -194,12 +223,20 @@ func Fig6(o Options) error {
 			sc.Seed = o.seed()
 			results, err := sim.RunScenario(sc)
 			if err != nil {
-				return err
+				return "", err
 			}
+			var b strings.Builder
 			for _, r := range results {
-				fmt.Fprintf(w, "%g\t%s\t%.1f%%\t%.4g\n",
+				fmt.Fprintf(&b, "%g\t%s\t%.1f%%\t%.4g\n",
 					f, r.Scheme, 100*r.Mean(sim.Metrics.SuccessRatio), volumeOf(r))
 			}
+			return b.String(), nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			fmt.Fprint(w, row)
 		}
 		if err := w.Flush(); err != nil {
 			return err
@@ -209,7 +246,7 @@ func Fig6(o Options) error {
 }
 
 // Fig7 sweeps the number of transactions (1000–6000) at scale factor 10
-// — panels (a)–(d).
+// — panels (a)–(d). Cells run on the Options.Workers pool like Fig6.
 func Fig7(o Options) error {
 	o.header("Figure 7", "success ratio & volume vs number of transactions")
 	loads := []int{1000, 2000, 3000, 4000, 5000, 6000}
@@ -220,19 +257,28 @@ func Fig7(o Options) error {
 		}
 		fmt.Fprintf(o.Out, "-- %s --\n", kindLabel(kind))
 		w := o.table("txns\tscheme\tsucc.ratio\tsucc.volume")
-		for _, txns := range loads {
+		rows, err := o.runCells(len(loads), func(i int) (string, error) {
+			txns := loads[i]
 			sc := sim.DefaultScenario(kind, nodes)
 			sc.Txns = o.txns(txns)
 			sc.Runs = o.runs()
 			sc.Seed = o.seed()
 			results, err := sim.RunScenario(sc)
 			if err != nil {
-				return err
+				return "", err
 			}
+			var b strings.Builder
 			for _, r := range results {
-				fmt.Fprintf(w, "%d\t%s\t%.1f%%\t%.4g\n",
+				fmt.Fprintf(&b, "%d\t%s\t%.1f%%\t%.4g\n",
 					txns, r.Scheme, 100*r.Mean(sim.Metrics.SuccessRatio), volumeOf(r))
 			}
+			return b.String(), nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			fmt.Fprint(w, row)
 		}
 		if err := w.Flush(); err != nil {
 			return err

@@ -93,3 +93,24 @@ func TestOptionsScaling(t *testing.T) {
 		t.Error("seed override ignored")
 	}
 }
+
+// TestParallelSweepOutputIdentical pins the Workers contract: the sweep
+// figures print byte-identical tables at any worker count, because each
+// scenario cell is a deterministic function of the seed.
+func TestParallelSweepOutputIdentical(t *testing.T) {
+	render := func(workers int, fig func(Options) error) string {
+		var b strings.Builder
+		o := Options{Tiny: true, Seed: 1, Out: &b, Workers: workers}
+		if err := fig(o); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	for name, fig := range map[string]func(Options) error{"Fig6": Fig6, "Fig7": Fig7} {
+		seq := render(1, fig)
+		par := render(4, fig)
+		if seq != par {
+			t.Errorf("%s output differs between workers=1 and workers=4:\n--- seq ---\n%s\n--- par ---\n%s", name, seq, par)
+		}
+	}
+}

@@ -139,9 +139,9 @@ func (h candHeap) Less(i, j int) bool {
 	}
 	return false
 }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.([]topo.NodeID)) }
-func (h *candHeap) Pop() interface{} {
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.([]topo.NodeID)) }
+func (h *candHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

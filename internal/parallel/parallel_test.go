@@ -1,0 +1,63 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(0, 8); got != 0 {
+		t.Errorf("Clamp(0,8) = %d, want 0", got)
+	}
+	if got := Clamp(10, 4); got != 4 {
+		t.Errorf("Clamp(10,4) = %d, want 4", got)
+	}
+	if got := Clamp(3, 8); got != 3 {
+		t.Errorf("Clamp(3,8) = %d, want 3", got)
+	}
+	if got := Clamp(10, 0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Clamp(10,0) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 100
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(worker, i int) {
+			if worker < 0 || worker >= Clamp(n, workers) {
+				t.Errorf("worker index %d out of range", worker)
+			}
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialWhenOneWorker(t *testing.T) {
+	var order []int
+	ForEach(5, 1, func(worker, i int) {
+		if worker != 0 {
+			t.Errorf("worker = %d, want 0", worker)
+		}
+		order = append(order, i) // safe: inline execution
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int, int) { called = true })
+	if called {
+		t.Error("fn called with 0 items")
+	}
+}

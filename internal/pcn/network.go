@@ -18,6 +18,18 @@
 // Network is safe for concurrent use; Tx values are not (each payment
 // session belongs to one goroutine, as in the real protocol where the
 // sender drives its own payment).
+//
+// # Locking model
+//
+// Every channel carries its own mutex, so payments over disjoint
+// channels never contend. Operations that span several channels (a
+// probe or hold along a path, an atomic multi-path commit or abort)
+// acquire the locks of every involved channel in ascending channel
+// index order and release them together — a single global acquisition
+// order, which makes deadlock impossible. Whole-network operations
+// (Snapshot, Restore, TotalFunds, the Assign helpers) lock every
+// channel in the same ascending order and therefore serialize against
+// all in-flight payments. Message counters are plain atomics.
 package pcn
 
 import (
@@ -25,6 +37,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/topo"
 )
@@ -58,23 +71,25 @@ type HopInfo struct {
 	ReverseFee       FeeSchedule
 }
 
-// channel is the mutable state of one payment channel. Direction 0 is
-// A→B (canonical endpoint order), direction 1 is B→A.
+// channel is the mutable state of one payment channel, guarded by its
+// own lock. Direction 0 is A→B (canonical endpoint order), direction 1
+// is B→A.
 type channel struct {
+	mu   sync.Mutex
 	bal  [2]float64
 	held [2]float64
 	fee  [2]FeeSchedule
 }
 
 // Network is a payment channel network: a topology plus per-channel
-// balances and fees.
+// balances and fees. Channel state is striped one lock per channel (see
+// the package comment for the locking model).
 type Network struct {
-	mu    sync.Mutex
 	graph *topo.Graph
 	chans []channel
 
-	probeMessages  int64 // cumulative, all sessions
-	commitMessages int64
+	probeMessages  atomic.Int64 // cumulative, all sessions
+	commitMessages atomic.Int64
 }
 
 // New creates a network over g with all balances zero. Balances are
@@ -99,6 +114,22 @@ func (n *Network) dir(u, v topo.NodeID) (int, int, error) {
 	return idx, 1, nil
 }
 
+// lockAll acquires every channel lock in ascending index order — the
+// same global order path operations use — so whole-network reads and
+// writes serialize against in-flight payments without deadlock risk.
+func (n *Network) lockAll() {
+	for i := range n.chans {
+		n.chans[i].mu.Lock()
+	}
+}
+
+// unlockAll releases the locks taken by lockAll.
+func (n *Network) unlockAll() {
+	for i := len(n.chans) - 1; i >= 0; i-- {
+		n.chans[i].mu.Unlock()
+	}
+}
+
 // SetBalance sets the two directional balances of the channel joining u
 // and v: balUV spendable by u towards v, balVU the reverse.
 func (n *Network) SetBalance(u, v topo.NodeID, balUV, balVU float64) error {
@@ -109,10 +140,11 @@ func (n *Network) SetBalance(u, v topo.NodeID, balUV, balVU float64) error {
 	if err != nil {
 		return err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.chans[idx].bal[d] = balUV
-	n.chans[idx].bal[1-d] = balVU
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.bal[d] = balUV
+	ch.bal[1-d] = balVU
 	return nil
 }
 
@@ -122,9 +154,10 @@ func (n *Network) SetFee(u, v topo.NodeID, fee FeeSchedule) error {
 	if err != nil {
 		return err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.chans[idx].fee[d] = fee
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.fee[d] = fee
 	return nil
 }
 
@@ -135,9 +168,10 @@ func (n *Network) Balance(u, v topo.NodeID) float64 {
 	if err != nil {
 		return 0
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.chans[idx].bal[d]
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.bal[d]
 }
 
 // Available returns the spendable balance of hop u→v: balance minus
@@ -147,9 +181,10 @@ func (n *Network) Available(u, v topo.NodeID) float64 {
 	if err != nil {
 		return 0
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.chans[idx].bal[d] - n.chans[idx].held[d]
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.bal[d] - ch.held[d]
 }
 
 // Fee returns the fee schedule of hop u→v.
@@ -158,9 +193,10 @@ func (n *Network) Fee(u, v topo.NodeID) FeeSchedule {
 	if err != nil {
 		return FeeSchedule{}
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.chans[idx].fee[d]
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.fee[d]
 }
 
 // Capacity returns the total funds in the channel joining u and v (both
@@ -171,16 +207,17 @@ func (n *Network) Capacity(u, v topo.NodeID) float64 {
 	if err != nil {
 		return 0
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.chans[idx].bal[0] + n.chans[idx].bal[1]
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.bal[0] + ch.bal[1]
 }
 
 // TotalFunds returns the sum of all balances across all channels: a
 // conserved quantity under payments (property tests rely on this).
 func (n *Network) TotalFunds() float64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockAll()
+	defer n.unlockAll()
 	total := 0.0
 	for i := range n.chans {
 		total += n.chans[i].bal[0] + n.chans[i].bal[1]
@@ -191,8 +228,8 @@ func (n *Network) TotalFunds() float64 {
 // ScaleBalances multiplies every directional balance by factor, the
 // capacity-scale knob of Figures 6 and 7.
 func (n *Network) ScaleBalances(factor float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockAll()
+	defer n.unlockAll()
 	for i := range n.chans {
 		n.chans[i].bal[0] *= factor
 		n.chans[i].bal[1] *= factor
@@ -202,8 +239,8 @@ func (n *Network) ScaleBalances(factor float64) {
 // Snapshot captures all balances so a sweep can restore pristine state
 // between runs without rebuilding the network.
 func (n *Network) Snapshot() []float64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockAll()
+	defer n.unlockAll()
 	snap := make([]float64, 0, 2*len(n.chans))
 	for i := range n.chans {
 		snap = append(snap, n.chans[i].bal[0], n.chans[i].bal[1])
@@ -214,37 +251,29 @@ func (n *Network) Snapshot() []float64 {
 // Restore reinstates balances captured by Snapshot and clears holds and
 // message counters.
 func (n *Network) Restore(snap []float64) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if len(snap) != 2*len(n.chans) {
 		return fmt.Errorf("pcn: snapshot has %d entries, want %d", len(snap), 2*len(n.chans))
 	}
+	n.lockAll()
+	defer n.unlockAll()
 	for i := range n.chans {
 		n.chans[i].bal[0] = snap[2*i]
 		n.chans[i].bal[1] = snap[2*i+1]
 		n.chans[i].held[0] = 0
 		n.chans[i].held[1] = 0
 	}
-	n.probeMessages = 0
-	n.commitMessages = 0
+	n.probeMessages.Store(0)
+	n.commitMessages.Store(0)
 	return nil
 }
 
 // ProbeMessages returns the cumulative number of probe messages sent by
 // all payment sessions since construction or the last Restore.
-func (n *Network) ProbeMessages() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.probeMessages
-}
+func (n *Network) ProbeMessages() int64 { return n.probeMessages.Load() }
 
 // CommitMessages returns the cumulative number of commit-phase messages
 // (COMMIT/CONFIRM/REVERSE legs) sent by all payment sessions.
-func (n *Network) CommitMessages() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.commitMessages
-}
+func (n *Network) CommitMessages() int64 { return n.commitMessages.Load() }
 
 // AssignBalancesLogNormal funds every channel with a log-normal total
 // (given median and shape sigma), split across the two directions:
@@ -252,8 +281,8 @@ func (n *Network) CommitMessages() int64 {
 // a uniform random fraction otherwise (approximating Lightning's skewed
 // crawled distribution).
 func (n *Network) AssignBalancesLogNormal(rng *rand.Rand, median, sigma float64, evenSplit bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockAll()
+	defer n.unlockAll()
 	for i := range n.chans {
 		total := logNormal(rng, median, sigma)
 		frac := 0.5
@@ -268,8 +297,8 @@ func (n *Network) AssignBalancesLogNormal(rng *rand.Rand, median, sigma float64,
 // AssignBalancesUniform funds every channel with a total drawn uniformly
 // from [lo, hi), split evenly — the testbed's capacity model (§5.2).
 func (n *Network) AssignBalancesUniform(rng *rand.Rand, lo, hi float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockAll()
+	defer n.unlockAll()
 	for i := range n.chans {
 		total := lo + rng.Float64()*(hi-lo)
 		n.chans[i].bal[0] = total / 2
@@ -282,8 +311,8 @@ func (n *Network) AssignBalancesUniform(rng *rand.Rand, lo, hi float64) {
 // [0.1%, 1%) and the remaining 10% from [1%, 10%), no base fee. Both
 // directions of a channel share a schedule.
 func (n *Network) AssignFeesPaper(rng *rand.Rand) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.lockAll()
+	defer n.unlockAll()
 	for i := range n.chans {
 		var rate float64
 		if rng.Float64() < 0.9 {

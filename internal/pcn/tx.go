@@ -3,6 +3,9 @@ package pcn
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
 
 	"repro/internal/topo"
 )
@@ -21,12 +24,18 @@ var (
 // CONFIRM/CONFIRM_ACK, Abort ≈ REVERSE/REVERSE_ACK.
 //
 // A Tx must be used from a single goroutine and finished with exactly
-// one Commit or Abort.
+// one Commit or Abort. Any number of Tx values may run concurrently
+// over one Network: each operation locks only the channels it touches,
+// in ascending channel-index order (see the package comment).
 type Tx struct {
 	net      *Network
 	sender   topo.NodeID
 	receiver topo.NodeID
 	demand   float64
+
+	rng       *rand.Rand
+	rngSeed   int64
+	rngSeeded bool
 
 	holds    []holdRecord
 	finished bool
@@ -34,10 +43,24 @@ type Tx struct {
 	probeMsgs  int
 	commitMsgs int
 	feesPaid   float64
+
+	// Reusable scratch for the per-operation hop resolution and lock
+	// ordering — a Tx belongs to one goroutine, so reuse is safe and
+	// keeps Probe/Hold free of per-call slice allocations.
+	lockScratch []int
+	hopScratch  []pathHop
+}
+
+// pathHop is one directed hop resolved to its channel index and
+// direction.
+type pathHop struct {
+	idx int
+	dir int
 }
 
 type holdRecord struct {
 	path   []topo.NodeID
+	hops   []pathHop
 	amount float64
 }
 
@@ -66,6 +89,27 @@ func (t *Tx) Receiver() topo.NodeID { return t.receiver }
 // Demand returns the payment amount.
 func (t *Tx) Demand() float64 { return t.demand }
 
+// SetRNG attaches a deterministic per-payment random source to the
+// session. Routers that make random choices (e.g. Flash's mice path
+// order) use it when present instead of their shared generator, so a
+// concurrent replay's random decisions depend only on the payment, not
+// on worker scheduling.
+func (t *Tx) SetRNG(rng *rand.Rand) { t.rng, t.rngSeeded = rng, false }
+
+// SetRNGSeed is SetRNG with lazy construction: the rand.Rand (whose
+// source seeds a ~5KB table) is only built if a router actually asks
+// for randomness — elephants and non-random routers never pay for it.
+func (t *Tx) SetRNGSeed(seed int64) { t.rng, t.rngSeed, t.rngSeeded = nil, seed, true }
+
+// RNG returns the session's per-payment random source, or nil when none
+// was attached (implements route.RandSource).
+func (t *Tx) RNG() *rand.Rand {
+	if t.rng == nil && t.rngSeeded {
+		t.rng = rand.New(rand.NewSource(t.rngSeed))
+	}
+	return t.rng
+}
+
 // validPath checks that path starts at the sender, ends at the
 // receiver, and every consecutive pair shares a channel.
 func (t *Tx) validPath(path []topo.NodeID) error {
@@ -80,9 +124,55 @@ func (t *Tx) validPath(path []topo.NodeID) error {
 	return nil
 }
 
+// resolvePathInto appends every hop of path, mapped to its channel
+// index and direction, to buf. Callers pass a retained buffer (Hold,
+// whose records outlive the call) or the Tx scratch (Probe).
+func (t *Tx) resolvePathInto(buf []pathHop, path []topo.NodeID) ([]pathHop, error) {
+	for i := 0; i+1 < len(path); i++ {
+		idx, d, err := t.net.dir(path[i], path[i+1])
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, pathHop{idx: idx, dir: d})
+	}
+	return buf, nil
+}
+
+// lockOrder returns the distinct channel indices of hops in ascending
+// order — the global acquisition order that makes multi-channel locking
+// deadlock-free. The result lives in the Tx scratch buffer and is valid
+// until the next lockOrder/holdLockOrder call.
+func (t *Tx) lockOrder(hops []pathHop) []int {
+	s := t.lockScratch[:0]
+	for _, h := range hops {
+		s = append(s, h.idx)
+	}
+	sort.Ints(s)
+	s = slices.Compact(s)
+	t.lockScratch = s
+	return s
+}
+
+// lockChannels acquires the locks of the given channels; idxs must be
+// ascending and duplicate-free (as produced by lockOrder).
+func (n *Network) lockChannels(idxs []int) {
+	for _, i := range idxs {
+		n.chans[i].mu.Lock()
+	}
+}
+
+// unlockChannels releases locks taken by lockChannels.
+func (n *Network) unlockChannels(idxs []int) {
+	for i := len(idxs) - 1; i >= 0; i-- {
+		n.chans[idxs[i]].mu.Unlock()
+	}
+}
+
 // Probe sends a probe along path and returns, per hop, the available
 // balance and fee schedule. It costs 2·hops probe messages (the probe
-// travels to the receiver and the acknowledgement returns).
+// travels to the receiver and the acknowledgement returns). All on-path
+// channels are read under their locks together, so the result is a
+// consistent snapshot even while other payments commit concurrently.
 func (t *Tx) Probe(path []topo.NodeID) ([]HopInfo, error) {
 	if t.finished {
 		return nil, ErrFinished
@@ -90,16 +180,17 @@ func (t *Tx) Probe(path []topo.NodeID) ([]HopInfo, error) {
 	if err := t.validPath(path); err != nil {
 		return nil, err
 	}
-	hops := len(path) - 1
-	info := make([]HopInfo, hops)
-	t.net.mu.Lock()
-	for i := 0; i < hops; i++ {
-		idx, d, err := t.net.dir(path[i], path[i+1])
-		if err != nil {
-			t.net.mu.Unlock()
-			return nil, err
-		}
-		ch := &t.net.chans[idx]
+	hops, err := t.resolvePathInto(t.hopScratch[:0], path)
+	if err != nil {
+		return nil, err
+	}
+	t.hopScratch = hops
+	info := make([]HopInfo, len(hops))
+	order := t.lockOrder(hops)
+	t.net.lockChannels(order)
+	for i, h := range hops {
+		ch := &t.net.chans[h.idx]
+		d := h.dir
 		info[i] = HopInfo{
 			Available:        ch.bal[d] - ch.held[d],
 			Fee:              ch.fee[d],
@@ -107,9 +198,9 @@ func (t *Tx) Probe(path []topo.NodeID) ([]HopInfo, error) {
 			ReverseFee:       ch.fee[1-d],
 		}
 	}
-	t.net.probeMessages += int64(2 * hops)
-	t.net.mu.Unlock()
-	t.probeMsgs += 2 * hops
+	t.net.unlockChannels(order)
+	t.net.probeMessages.Add(int64(2 * len(hops)))
+	t.probeMsgs += 2 * len(hops)
 	return info, nil
 }
 
@@ -126,6 +217,9 @@ func (t *Tx) LocalBalance(u, v topo.NodeID) float64 {
 // Abort. If any hop lacks balance, nothing is reserved and
 // ErrInsufficient is returned (the prototype's COMMIT_NACK + REVERSE of
 // the prefix). Either way the attempt costs 2·hops commit messages.
+// Feasibility check and reservation happen under the locks of all
+// on-path channels, so two conflicting concurrent holds can never both
+// succeed on balance only one of them can have.
 func (t *Tx) Hold(path []topo.NodeID, amount float64) error {
 	if t.finished {
 		return ErrFinished
@@ -136,28 +230,31 @@ func (t *Tx) Hold(path []topo.NodeID, amount float64) error {
 	if err := t.validPath(path); err != nil {
 		return err
 	}
-	hops := len(path) - 1
-	t.net.mu.Lock()
-	defer t.net.mu.Unlock()
-	t.net.commitMessages += int64(2 * hops)
-	t.commitMsgs += 2 * hops
+	hops, err := t.resolvePathInto(make([]pathHop, 0, len(path)-1), path)
+	if err != nil {
+		return err
+	}
+	t.net.commitMessages.Add(int64(2 * len(hops)))
+	t.commitMsgs += 2 * len(hops)
+	order := t.lockOrder(hops)
+	t.net.lockChannels(order)
+	defer t.net.unlockChannels(order)
 	// Phase 1a: feasibility check.
-	for i := 0; i < hops; i++ {
-		idx, d, err := t.net.dir(path[i], path[i+1])
-		if err != nil {
-			return err
-		}
-		ch := &t.net.chans[idx]
-		if ch.bal[d]-ch.held[d] < amount-balanceEpsilon {
+	for _, h := range hops {
+		ch := &t.net.chans[h.idx]
+		if ch.bal[h.dir]-ch.held[h.dir] < amount-balanceEpsilon {
 			return ErrInsufficient
 		}
 	}
 	// Phase 1b: reserve.
-	for i := 0; i < hops; i++ {
-		idx, d, _ := t.net.dir(path[i], path[i+1])
-		t.net.chans[idx].held[d] += amount
+	for _, h := range hops {
+		t.net.chans[h.idx].held[h.dir] += amount
 	}
-	t.holds = append(t.holds, holdRecord{path: append([]topo.NodeID(nil), path...), amount: amount})
+	t.holds = append(t.holds, holdRecord{
+		path:   append([]topo.NodeID(nil), path...),
+		hops:   hops,
+		amount: amount,
+	})
 	return nil
 }
 
@@ -175,10 +272,30 @@ func (t *Tx) HeldTotal() float64 {
 	return total
 }
 
+// holdLockOrder returns the distinct channel indices across all of the
+// session's holds, ascending — the acquisition order for the atomic
+// commit/abort of a multi-path payment. Shares the Tx scratch buffer
+// with lockOrder.
+func (t *Tx) holdLockOrder() []int {
+	s := t.lockScratch[:0]
+	for _, h := range t.holds {
+		for _, ph := range h.hops {
+			s = append(s, ph.idx)
+		}
+	}
+	sort.Ints(s)
+	s = slices.Compact(s)
+	t.lockScratch = s
+	return s
+}
+
 // Commit finalises all held partial payments atomically: every hop u→v
 // moves the held amount from bal(u→v) to bal(v→u), exactly the
-// prototype's CONFIRM_ACK processing. Fees for every hop are accounted
-// in FeesPaid. Commit with nothing held is an error.
+// prototype's CONFIRM_ACK processing. All channels touched by any hold
+// are locked together (in the global ascending order), so concurrent
+// observers see either none or all of the payment's transfers. Fees for
+// every hop are accounted in FeesPaid. Commit with nothing held is an
+// error.
 func (t *Tx) Commit() error {
 	if t.finished {
 		return ErrFinished
@@ -186,15 +303,16 @@ func (t *Tx) Commit() error {
 	if len(t.holds) == 0 {
 		return errors.New("pcn: nothing held to commit")
 	}
-	t.net.mu.Lock()
-	defer t.net.mu.Unlock()
+	order := t.holdLockOrder()
+	t.net.lockChannels(order)
+	defer t.net.unlockChannels(order)
 	for _, h := range t.holds {
 		hops := len(h.path) - 1
-		t.net.commitMessages += int64(2 * hops) // CONFIRM + CONFIRM_ACK
+		t.net.commitMessages.Add(int64(2 * hops)) // CONFIRM + CONFIRM_ACK
 		t.commitMsgs += 2 * hops
-		for i := 0; i < hops; i++ {
-			idx, d, _ := t.net.dir(h.path[i], h.path[i+1])
-			ch := &t.net.chans[idx]
+		for _, ph := range h.hops {
+			ch := &t.net.chans[ph.idx]
+			d := ph.dir
 			ch.held[d] = clampDust(ch.held[d] - h.amount)
 			ch.bal[d] -= h.amount
 			ch.bal[1-d] += h.amount
@@ -216,16 +334,16 @@ func (t *Tx) Abort() error {
 	if t.finished {
 		return ErrFinished
 	}
-	t.net.mu.Lock()
-	defer t.net.mu.Unlock()
+	order := t.holdLockOrder()
+	t.net.lockChannels(order)
+	defer t.net.unlockChannels(order)
 	for _, h := range t.holds {
 		hops := len(h.path) - 1
-		t.net.commitMessages += int64(2 * hops) // REVERSE + REVERSE_ACK
+		t.net.commitMessages.Add(int64(2 * hops)) // REVERSE + REVERSE_ACK
 		t.commitMsgs += 2 * hops
-		for i := 0; i < hops; i++ {
-			idx, d, _ := t.net.dir(h.path[i], h.path[i+1])
-			ch := &t.net.chans[idx]
-			ch.held[d] = clampDust(ch.held[d] - h.amount)
+		for _, ph := range h.hops {
+			ch := &t.net.chans[ph.idx]
+			ch.held[ph.dir] = clampDust(ch.held[ph.dir] - h.amount)
 		}
 	}
 	t.finished = true

@@ -12,6 +12,7 @@ package route
 import (
 	"errors"
 	"math"
+	"math/rand"
 
 	"repro/internal/pcn"
 	"repro/internal/topo"
@@ -20,6 +21,15 @@ import (
 // Session is one in-flight payment from the sender's point of view.
 // Implementations must guarantee atomicity: after Commit every held
 // partial payment is applied; after Abort none is.
+//
+// Concurrency contract: a Session belongs to exactly one goroutine for
+// its lifetime — no Session method is called concurrently. The network
+// behind the session, however, is shared: any number of sessions may
+// probe, hold and commit concurrently, and implementations must make
+// each individual operation atomic against the others (pcn.Tx does this
+// with per-channel locks acquired in ascending channel-index order).
+// Routers given to concurrent sessions must likewise be safe for
+// concurrent Route calls (all routers in this repository are).
 type Session interface {
 	// Graph is the sender's locally available topology (§3.1): full
 	// connectivity, no balance information.
@@ -56,10 +66,31 @@ type Session interface {
 // Compile-time check: the in-memory transaction implements Session.
 var _ Session = (*pcn.Tx)(nil)
 
+// RandSource is optionally implemented by Sessions that carry a
+// deterministic per-payment random source. Routers that make random
+// choices (e.g. Flash's random mice path order, §3.3) should prefer it
+// over their own shared generator when it is non-nil: random decisions
+// then depend only on the payment's identity, never on how a concurrent
+// replay happened to schedule its workers. The sequential simulator
+// leaves it unset, which preserves the historical shared-RNG sequence.
+type RandSource interface {
+	RNG() *rand.Rand
+}
+
+// Compile-time check: pcn.Tx can carry a per-payment RNG.
+var _ RandSource = (*pcn.Tx)(nil)
+
 // Router is a routing algorithm. Route must finish the session: Commit
 // when the full demand has been held (returning nil) or Abort otherwise
 // (returning a non-nil reason). Routers may keep per-sender state (e.g.
 // Flash's mice routing tables) across calls.
+//
+// Route must be safe to call from multiple goroutines with different
+// sessions: the concurrent simulator drives one router instance from N
+// payment workers at once. Internal state (routing tables, counters,
+// RNGs) must be synchronized; per-sender state should be sharded so
+// payments from different senders do not contend (core.Flash locks one
+// table per sender).
 type Router interface {
 	Name() string
 	Route(s Session) error

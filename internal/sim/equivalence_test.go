@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// goldenMetrics are the sequential replay metrics of the seed engine
+// (global-mutex pcn, sequential sim loop) on a fixed scenario, captured
+// before the concurrency refactor. The workers=1 replay must reproduce
+// them bit-for-bit: the refactor may add concurrency, never change
+// sequential semantics.
+var goldenMetrics = map[string]Metrics{
+	KindRipple: {
+		Payments: 400, Successes: 367,
+		SuccessVolume: 117379.32086693803,
+		AttemptVolume: 121982.66511485772,
+		FeesPaid:      2676.537731053754,
+		ProbeMessages: 4410, CommitMessages: 8566,
+		MicePayments: 360, MiceSuccesses: 328,
+		MiceSuccessVolume: 9566.295142798359,
+		MiceProbeMessages: 2514,
+		ElephantPayments:  40, ElephantSuccesses: 39,
+		ElephantSuccessVol: 107813.02572413968,
+		ElephantProbeMsgs:  1896,
+	},
+	KindLightning: {
+		Payments: 400, Successes: 232,
+		SuccessVolume: 5.236589909823013e+08,
+		AttemptVolume: 8.851510638274593e+09,
+		FeesPaid:      9.923662137750087e+06,
+		ProbeMessages: 10298, CommitMessages: 12458,
+		MicePayments: 360, MiceSuccesses: 231,
+		MiceSuccessVolume: 3.84589654198156e+08,
+		MiceProbeMessages: 5754,
+		ElephantPayments:  40, ElephantSuccesses: 1,
+		ElephantSuccessVol: 1.3906933678414533e+08,
+		ElephantProbeMsgs:  4544,
+	},
+}
+
+// goldenRun replays the fixed golden scenario with the given options.
+func goldenRun(t *testing.T, kind string, opts Options) Metrics {
+	t.Helper()
+	net, err := BuildNetwork(kind, 120, 10, 0, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.DefaultConfig(net.Graph().NumNodes())
+	cfg.Graph = net.Graph()
+	cfg.Seed = 42
+	if kind == KindLightning {
+		cfg.Sizes = trace.BitcoinSizes
+	}
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payments := gen.Generate(400)
+	threshold := core.ThresholdForMiceFraction(trace.Amounts(payments), 0.9)
+	r, err := NewRouter(SchemeFlash, threshold, 0, 0, false, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunOpts(net, r, payments, threshold, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// stripDelays zeroes the wall-clock fields, the only metrics that
+// legitimately vary between replays of identical work.
+func stripDelays(m Metrics) Metrics {
+	m.TotalDelay = 0
+	m.MiceDelay = 0
+	return m
+}
+
+// TestSequentialMatchesSeedGolden pins Run (and RunOpts with Workers ≤
+// 1, which must be the same code path) to the exact metrics of the
+// pre-refactor sequential engine.
+func TestSequentialMatchesSeedGolden(t *testing.T) {
+	for kind, want := range goldenMetrics {
+		for _, workers := range []int{0, 1} {
+			got := stripDelays(goldenRun(t, kind, Options{Workers: workers}))
+			if got != want {
+				t.Errorf("%s workers=%d diverged from seed golden:\n got  %+v\n want %+v", kind, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentReplayInvariants checks what a concurrent replay must
+// still guarantee even though payment interleaving is free: every
+// payment is replayed exactly once, classification is
+// workers-independent, and volumes stay self-consistent.
+func TestConcurrentReplayInvariants(t *testing.T) {
+	want := goldenMetrics[KindRipple]
+	got := goldenRun(t, KindRipple, Options{Workers: 8, Seed: 42})
+	if got.Payments != want.Payments {
+		t.Errorf("payments = %d, want %d", got.Payments, want.Payments)
+	}
+	if got.MicePayments != want.MicePayments || got.ElephantPayments != want.ElephantPayments {
+		t.Errorf("classification changed: %d mice / %d elephants, want %d / %d",
+			got.MicePayments, got.ElephantPayments, want.MicePayments, want.ElephantPayments)
+	}
+	// Attempt volume is a float sum: shard merge order may shift the
+	// last ulp, so compare with relative tolerance.
+	if diff := math.Abs(got.AttemptVolume - want.AttemptVolume); diff > 1e-9*want.AttemptVolume {
+		t.Errorf("attempt volume = %v, want %v", got.AttemptVolume, want.AttemptVolume)
+	}
+	if got.Successes == 0 || got.SuccessVolume <= 0 {
+		t.Error("concurrent replay delivered nothing")
+	}
+	if got.SuccessVolume > got.AttemptVolume {
+		t.Errorf("delivered %v exceeds attempted %v", got.SuccessVolume, got.AttemptVolume)
+	}
+	if got.Successes > got.Payments {
+		t.Errorf("successes %d exceed payments %d", got.Successes, got.Payments)
+	}
+}
+
+// TestParallelSchemesMatchesRestoreLoop verifies the documented claim
+// on Scenario.ParallelSchemes: with sequential replay it is a pure
+// wall-clock optimisation — scheme metrics are identical to the
+// sequential restore loop.
+func TestParallelSchemesMatchesRestoreLoop(t *testing.T) {
+	base := DefaultScenario(KindRipple, 80)
+	base.Txns = 200
+	base.Runs = 2
+
+	seq := base
+	par := base
+	par.ParallelSchemes = true
+
+	seqRes, err := RunScenario(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := RunScenario(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqRes {
+		if seqRes[i].Scheme != parRes[i].Scheme {
+			t.Fatalf("scheme order diverged: %s vs %s", seqRes[i].Scheme, parRes[i].Scheme)
+		}
+		for run := range seqRes[i].Runs {
+			a := stripDelays(seqRes[i].Runs[run])
+			b := stripDelays(parRes[i].Runs[run])
+			if a != b {
+				t.Errorf("%s run %d diverged:\n restore  %+v\n parallel %+v", seqRes[i].Scheme, run, a, b)
+			}
+		}
+	}
+}

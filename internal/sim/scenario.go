@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -61,6 +62,20 @@ type Scenario struct {
 	// (paper: [1000,1500), [1500,2000), [2000,2500) USD).
 	TestbedCapLo float64
 	TestbedCapHi float64
+
+	// Concurrency is the number of payment workers replaying each
+	// scheme's workload (sim.Options.Workers). 0 or 1 is the sequential
+	// replay; larger values model concurrent senders over the shared
+	// network.
+	Concurrency int
+
+	// ParallelSchemes runs the scenario's schemes concurrently, each on
+	// its own identically-seeded network and workload, instead of
+	// restoring one network between schemes. With sequential replay
+	// (Concurrency ≤ 1) the results are identical to the restore loop —
+	// network construction and workload generation are pure functions of
+	// the run seed — so this is a pure wall-clock optimisation.
+	ParallelSchemes bool
 
 	Schemes []string
 	Runs    int
@@ -217,7 +232,9 @@ func (r SchemeResult) Summary(f func(Metrics) float64) stats.Summary {
 // RunScenario executes a scenario: Runs independent repetitions, each
 // with a fresh topology, balance assignment and workload (all seeded),
 // replaying the identical payment sequence once per scheme from
-// identical starting balances.
+// identical starting balances. With ParallelSchemes the schemes of a
+// repetition run concurrently on identically-seeded private networks;
+// otherwise one network is restored between schemes.
 func RunScenario(sc Scenario) ([]SchemeResult, error) {
 	if sc.Runs < 1 {
 		sc.Runs = 1
@@ -229,8 +246,16 @@ func RunScenario(sc Scenario) ([]SchemeResult, error) {
 	for i, s := range sc.Schemes {
 		results[i] = SchemeResult{Scheme: s}
 	}
+	opts := Options{Workers: sc.Concurrency}
 	for run := 0; run < sc.Runs; run++ {
 		runSeed := sc.Seed + int64(run)*7919
+		opts.Seed = runSeed
+		if sc.ParallelSchemes {
+			if err := runSchemesParallel(sc, runSeed, opts, results); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		net, err := BuildNetwork(sc.Kind, sc.Nodes, sc.ScaleFactor, sc.TestbedCapLo, sc.TestbedCapHi, runSeed)
 		if err != nil {
 			return nil, err
@@ -251,7 +276,7 @@ func RunScenario(sc Scenario) ([]SchemeResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, err := Run(net, r, payments, threshold)
+			m, err := RunOpts(net, r, payments, threshold, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -259,6 +284,62 @@ func RunScenario(sc Scenario) ([]SchemeResult, error) {
 		}
 	}
 	return results, nil
+}
+
+// runSchemesParallel replays one repetition's schemes concurrently.
+// Each scheme builds its own network and workload from runSeed —
+// identical across schemes by construction — so no cross-scheme state
+// is shared and the results match the sequential restore loop.
+func runSchemesParallel(sc Scenario, runSeed int64, opts Options, results []SchemeResult) error {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	run := make([]Metrics, len(sc.Schemes))
+	for i, scheme := range sc.Schemes {
+		wg.Add(1)
+		go func(i int, scheme string) {
+			defer wg.Done()
+			m, err := runOneSchemeCell(sc, scheme, runSeed, opts)
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("%s: %w", scheme, err))
+				mu.Unlock()
+				return
+			}
+			run[i] = m
+		}(i, scheme)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	for i := range results {
+		results[i].Runs = append(results[i].Runs, run[i])
+	}
+	return nil
+}
+
+// runOneSchemeCell builds a private network + workload for (scenario,
+// runSeed) and replays it under scheme.
+func runOneSchemeCell(sc Scenario, scheme string, runSeed int64, opts Options) (Metrics, error) {
+	net, err := BuildNetwork(sc.Kind, sc.Nodes, sc.ScaleFactor, sc.TestbedCapLo, sc.TestbedCapHi, runSeed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	gen, err := workloadFor(sc.Kind, net.Graph(), runSeed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	payments := gen.Generate(sc.Txns)
+	threshold := core.ThresholdForMiceFraction(trace.Amounts(payments), sc.MiceFraction)
+	r, err := NewRouterConfig(scheme, threshold, sc.FlashK, sc.FlashM, sc.FlashMSet,
+		sc.FlashFixedMiceOrder, sc.FlashProbeAllK, runSeed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return RunOpts(net, r, payments, threshold, opts)
 }
 
 // randPerm is a tiny helper kept for tests that need deterministic

@@ -4,16 +4,28 @@
 // and fee-to-volume ratio (§4.1 "Metrics"), plus processing delay for
 // the testbed-style comparisons.
 //
-// Payments arrive at senders sequentially, exactly as in the paper's
-// simulation setup.
+// Payments arrive at senders sequentially by default, exactly as in the
+// paper's simulation setup. Options.Workers switches to a concurrent
+// replay: N workers drain the payment stream against the shared
+// network, the contention model of a live offchain system where many
+// senders pay at once. Workers ≤ 1 reproduces the sequential metrics
+// bit-for-bit; workers > 1 keeps every per-payment random choice
+// deterministic (seeded from the payment ID, not the worker) but lets
+// payment interleaving — and therefore balance evolution — vary, as it
+// does in reality.
 package sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/pcn"
 	"repro/internal/route"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -40,6 +52,29 @@ type Metrics struct {
 
 	TotalDelay time.Duration
 	MiceDelay  time.Duration
+}
+
+// merge folds another shard's counters into m. Every field is an
+// order-independent sum, which is what lets the concurrent replay
+// aggregate per-worker shards without locks on the hot path.
+func (m *Metrics) merge(o Metrics) {
+	m.Payments += o.Payments
+	m.Successes += o.Successes
+	m.SuccessVolume += o.SuccessVolume
+	m.AttemptVolume += o.AttemptVolume
+	m.FeesPaid += o.FeesPaid
+	m.ProbeMessages += o.ProbeMessages
+	m.CommitMessages += o.CommitMessages
+	m.MicePayments += o.MicePayments
+	m.MiceSuccesses += o.MiceSuccesses
+	m.MiceSuccessVolume += o.MiceSuccessVolume
+	m.MiceProbeMessages += o.MiceProbeMessages
+	m.ElephantPayments += o.ElephantPayments
+	m.ElephantSuccesses += o.ElephantSuccesses
+	m.ElephantSuccessVol += o.ElephantSuccessVol
+	m.ElephantProbeMsgs += o.ElephantProbeMsgs
+	m.TotalDelay += o.TotalDelay
+	m.MiceDelay += o.MiceDelay
 }
 
 // SuccessRatio is the fraction of payments fully delivered.
@@ -91,62 +126,190 @@ func (m Metrics) String() string {
 		m.ProbeMessages, 100*m.FeeRatio())
 }
 
+// Options tunes how a workload is replayed.
+type Options struct {
+	// Workers is the number of goroutines draining the payment stream.
+	// 0 or 1 replays sequentially in payment order — bit-for-bit the
+	// historical behavior. The zero value deliberately means
+	// *sequential*, not GOMAXPROCS, so Run and zero-valued Options keep
+	// their historical semantics; CLIs that want "0 = all cores"
+	// resolve that before building Options. Larger values model
+	// concurrent senders: the per-payment metrics become
+	// interleaving-dependent, but every random routing choice stays
+	// deterministic per payment (see Seed).
+	Workers int
+
+	// Seed derives each payment's private RNG in concurrent mode
+	// (mixed with the payment ID), so a payment's random choices — e.g.
+	// Flash's mice path order — do not depend on which worker runs it.
+	// Unused when Workers ≤ 1.
+	Seed int64
+
+	// Prewarm parallel-builds Flash's mice routing table for every
+	// distinct mice (sender, receiver) pair of the workload before the
+	// replay starts, using Workers goroutines. Only effective when the
+	// router is *core.Flash; other routers ignore it.
+	Prewarm bool
+}
+
 // Run replays payments sequentially over net using r. miceThreshold
 // classifies payments for the per-class metrics (payments with amount ≤
 // miceThreshold are mice); it does not influence routing — routers carry
 // their own thresholds.
 func Run(net *pcn.Network, r route.Router, payments []trace.Payment, miceThreshold float64) (Metrics, error) {
+	return RunOpts(net, r, payments, miceThreshold, Options{})
+}
+
+// RunOpts is Run with replay options: Options{} or Workers ≤ 1 is the
+// sequential replay, larger Workers dispatch payments to a worker pool
+// over the shared network.
+func RunOpts(net *pcn.Network, r route.Router, payments []trace.Payment, miceThreshold float64, opts Options) (Metrics, error) {
+	if opts.Prewarm {
+		prewarmRouter(net, r, payments, opts.Workers)
+	}
+	if opts.Workers <= 1 {
+		return runSequential(net, r, payments, miceThreshold)
+	}
+	return runConcurrent(net, r, payments, miceThreshold, opts)
+}
+
+// replayOne routes a single payment and accumulates its metrics into m.
+// When seeded, rngSeed is attached to the session as its per-payment
+// random source (built lazily — only routers that draw randomness pay
+// for it). Degenerate payments (self-pay, non-positive amount) are
+// skipped, contributing nothing.
+func replayOne(net *pcn.Network, r route.Router, p trace.Payment, miceThreshold float64, m *Metrics, rngSeed int64, seeded bool) error {
+	if p.Sender == p.Receiver || p.Amount <= 0 {
+		return nil
+	}
+	isMouse := p.Amount <= miceThreshold
+	m.Payments++
+	m.AttemptVolume += p.Amount
+	if isMouse {
+		m.MicePayments++
+	} else {
+		m.ElephantPayments++
+	}
+
+	tx, err := net.Begin(p.Sender, p.Receiver, p.Amount)
+	if err != nil {
+		return fmt.Errorf("sim: payment %d: %w", p.ID, err)
+	}
+	if seeded {
+		tx.SetRNGSeed(rngSeed)
+	}
+	start := time.Now()
+	rerr := r.Route(tx)
+	elapsed := time.Since(start)
+	if !tx.Finished() {
+		// Defensive: a router must finish its session; treat an
+		// unfinished one as failed and release its holds.
+		if aerr := tx.Abort(); aerr != nil {
+			return fmt.Errorf("sim: payment %d left unfinished and unabortable: %w", p.ID, aerr)
+		}
+		rerr = fmt.Errorf("sim: router %s left session unfinished", r.Name())
+	}
+
+	m.TotalDelay += elapsed
+	m.ProbeMessages += int64(tx.ProbeMessages())
+	m.CommitMessages += int64(tx.CommitMessages())
+	if isMouse {
+		m.MiceDelay += elapsed
+		m.MiceProbeMessages += int64(tx.ProbeMessages())
+	} else {
+		m.ElephantProbeMsgs += int64(tx.ProbeMessages())
+	}
+	if rerr == nil {
+		m.Successes++
+		m.SuccessVolume += p.Amount
+		m.FeesPaid += tx.FeesPaid()
+		if isMouse {
+			m.MiceSuccesses++
+			m.MiceSuccessVolume += p.Amount
+		} else {
+			m.ElephantSuccesses++
+			m.ElephantSuccessVol += p.Amount
+		}
+	}
+	return nil
+}
+
+// runSequential replays payments one at a time in order, the paper's
+// simulation setup. No per-payment RNG is attached, so routers consume
+// their own seeded generators in the historical sequence.
+func runSequential(net *pcn.Network, r route.Router, payments []trace.Payment, miceThreshold float64) (Metrics, error) {
 	var m Metrics
 	for _, p := range payments {
-		if p.Sender == p.Receiver || p.Amount <= 0 {
-			continue
-		}
-		isMouse := p.Amount <= miceThreshold
-		m.Payments++
-		m.AttemptVolume += p.Amount
-		if isMouse {
-			m.MicePayments++
-		} else {
-			m.ElephantPayments++
-		}
-
-		tx, err := net.Begin(p.Sender, p.Receiver, p.Amount)
-		if err != nil {
-			return m, fmt.Errorf("sim: payment %d: %w", p.ID, err)
-		}
-		start := time.Now()
-		rerr := r.Route(tx)
-		elapsed := time.Since(start)
-		if !tx.Finished() {
-			// Defensive: a router must finish its session; treat an
-			// unfinished one as failed and release its holds.
-			if aerr := tx.Abort(); aerr != nil {
-				return m, fmt.Errorf("sim: payment %d left unfinished and unabortable: %w", p.ID, aerr)
-			}
-			rerr = fmt.Errorf("sim: router %s left session unfinished", r.Name())
-		}
-
-		m.TotalDelay += elapsed
-		m.ProbeMessages += int64(tx.ProbeMessages())
-		m.CommitMessages += int64(tx.CommitMessages())
-		if isMouse {
-			m.MiceDelay += elapsed
-			m.MiceProbeMessages += int64(tx.ProbeMessages())
-		} else {
-			m.ElephantProbeMsgs += int64(tx.ProbeMessages())
-		}
-		if rerr == nil {
-			m.Successes++
-			m.SuccessVolume += p.Amount
-			m.FeesPaid += tx.FeesPaid()
-			if isMouse {
-				m.MiceSuccesses++
-				m.MiceSuccessVolume += p.Amount
-			} else {
-				m.ElephantSuccesses++
-				m.ElephantSuccessVol += p.Amount
-			}
+		if err := replayOne(net, r, p, miceThreshold, &m, 0, false); err != nil {
+			return m, err
 		}
 	}
 	return m, nil
+}
+
+// paymentSeed mixes the base seed with a payment ID (splitmix64-style
+// finalizer), giving each payment an independent, reproducible RNG
+// stream regardless of which worker replays it.
+func paymentSeed(base int64, id int64) int64 {
+	z := uint64(base) + (uint64(id)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// runConcurrent drains the payment stream with opts.Workers goroutines
+// sharing the network and router. Each worker accumulates metrics into
+// its own shard (merged afterwards), so the hot path takes no
+// simulation-level locks — all synchronization lives in the per-channel
+// network locks and the router's sharded tables.
+func runConcurrent(net *pcn.Network, r route.Router, payments []trace.Payment, miceThreshold float64, opts Options) (Metrics, error) {
+	var (
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	shards := make([]Metrics, parallel.Clamp(len(payments), opts.Workers))
+	parallel.ForEach(len(payments), opts.Workers, func(worker, i int) {
+		if failed.Load() {
+			return
+		}
+		p := payments[i]
+		seed := paymentSeed(opts.Seed, int64(p.ID))
+		if err := replayOne(net, r, p, miceThreshold, &shards[worker], seed, true); err != nil {
+			errOnce.Do(func() { firstErr = err })
+			failed.Store(true)
+		}
+	})
+	var m Metrics
+	for i := range shards {
+		m.merge(shards[i])
+	}
+	return m, firstErr
+}
+
+// prewarmRouter bulk-builds Flash's mice routing tables for the
+// workload's distinct mice pairs with a bounded worker pool. A no-op
+// for other router types. Pairs are classified against the router's
+// own elephant threshold — the one routeMice actually consults — not
+// the sim-level metrics threshold, which may legitimately differ.
+func prewarmRouter(net *pcn.Network, r route.Router, payments []trace.Payment, workers int) {
+	fl, ok := r.(*core.Flash)
+	if !ok {
+		return
+	}
+	threshold := fl.Config().Threshold
+	seen := make(map[[2]topo.NodeID]struct{}, len(payments))
+	var pairs []core.Pair
+	for _, p := range payments {
+		if p.Sender == p.Receiver || p.Amount <= 0 || p.Amount > threshold {
+			continue
+		}
+		key := [2]topo.NodeID{p.Sender, p.Receiver}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		pairs = append(pairs, core.Pair{Sender: p.Sender, Receiver: p.Receiver})
+	}
+	fl.Prewarm(net.Graph(), pairs, workers)
 }

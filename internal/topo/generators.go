@@ -100,13 +100,19 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) (*Graph, error) {
 	}
 	for v := m + 1; v < n; v++ {
 		chosen := make(map[NodeID]bool, m)
+		picked := make([]NodeID, 0, m)
 		for len(chosen) < m {
 			cand := targets[rng.Intn(len(targets))]
-			if cand != NodeID(v) {
+			if cand != NodeID(v) && !chosen[cand] {
 				chosen[cand] = true
+				picked = append(picked, cand)
 			}
 		}
-		for u := range chosen {
+		// Attach in draw order, never map order: a generator that takes
+		// an explicit rng must be a pure function of it, and map
+		// iteration would scramble channel indices (and every subsequent
+		// degree-proportional draw) from process to process.
+		for _, u := range picked {
 			g.MustAddChannel(NodeID(v), u)
 			targets = append(targets, NodeID(v), u)
 		}
