@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		figs    = flag.String("fig", "all", "comma-separated figure list (3,4,6,7,8,9,10,11,12,13,headline,ablations) or 'all'")
+		figs    = flag.String("fig", "all", "comma-separated figure list (3,4,6,7,8,9,10,11,12,13,headline,ablations,dynamic) or 'all'")
 		full    = flag.Bool("full", false, "paper-scale parameters (slower)")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		workers = flag.Int("workers", 0, "goroutines for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
@@ -41,8 +41,9 @@ func main() {
 		"13":        exp.Fig13,
 		"headline":  exp.Headline,
 		"ablations": exp.Ablations,
+		"dynamic":   exp.Dynamic,
 	}
-	order := []string{"3", "4", "6", "7", "8", "9", "10", "11", "12", "13", "headline", "ablations"}
+	order := []string{"3", "4", "6", "7", "8", "9", "10", "11", "12", "13", "headline", "ablations", "dynamic"}
 
 	selected := map[string]bool{}
 	if *figs == "all" {

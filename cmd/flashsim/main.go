@@ -3,11 +3,24 @@
 // reporting the paper's metrics (success ratio, success volume, probing
 // messages, fee ratio).
 //
+// Static mode (the default) replays a fixed payment list, reproducing
+// the paper's simulation setup. Dynamic mode (-dynamic, or -scenario
+// with a catalogue name) runs the discrete-event engine instead:
+// payments arrive through a seeded arrival process over a virtual
+// clock, churn events open/close/rebalance channels mid-run, and the
+// output includes a per-window time series. Dynamic runs with
+// -workers 1 (the default) are fully deterministic: the same seed
+// prints the same bytes, fingerprint included.
+//
 // Examples:
 //
 //	flashsim -kind ripple -nodes 1870 -txns 2000 -scale 10
 //	flashsim -kind lightning -nodes 2511 -txns 2000 -scale 20 -schemes Flash,Spider
 //	flashsim -kind testbed -nodes 50 -txns 1000 -caplo 1000 -caphi 1500
+//	flashsim -workers 8 -retries 3                    # concurrent replay with retry recovery
+//	flashsim -dynamic -arrival poisson -rate 20 -duration 60
+//	flashsim -scenario churn -nodes 200 -seed 42      # catalogue churn scenario
+//	flashsim -scenario flash-crowd -duration 120 -window 10
 package main
 
 import (
@@ -18,6 +31,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/event"
 	"repro/internal/sim"
 )
 
@@ -25,18 +39,31 @@ func main() {
 	var (
 		kind     = flag.String("kind", sim.KindRipple, "topology kind: ripple, lightning or testbed")
 		nodes    = flag.Int("nodes", 1870, "number of nodes")
-		txns     = flag.Int("txns", 2000, "number of transactions")
+		txns     = flag.Int("txns", 2000, "number of transactions (static mode)")
 		scale    = flag.Float64("scale", 10, "capacity scale factor")
 		mice     = flag.Float64("mice", 0.9, "fraction of payments classified as mice")
 		schemes  = flag.String("schemes", strings.Join(sim.PaperSchemes, ","), "comma-separated scheme list")
-		runs     = flag.Int("runs", 5, "independent runs to average")
+		runs     = flag.Int("runs", 5, "independent runs to average (static mode)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		flashK   = flag.Int("k", 0, "Flash elephant path budget (0 = paper default 20)")
 		flashM   = flag.Int("m", -1, "Flash mice paths per receiver (-1 = paper default 4; 0 routes mice as elephants)")
 		capLo    = flag.Float64("caplo", 1000, "testbed capacity range low")
 		capHi    = flag.Float64("caphi", 1500, "testbed capacity range high")
-		workers  = flag.Int("workers", 1, "concurrent payment workers per scheme replay (1 = sequential, 0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 1, "concurrent payment workers per scheme replay (1 = sequential/deterministic, 0 = GOMAXPROCS)")
 		parallel = flag.Bool("parallelschemes", false, "run the schemes of each repetition concurrently on identically-seeded networks")
+		retries  = flag.Int("retries", 0, "re-route failed payments up to N extra times with jittered backoff")
+
+		dynamic   = flag.Bool("dynamic", false, "discrete-event dynamic mode: virtual time, arrival process, churn")
+		scenario  = flag.String("scenario", "", "dynamic scenario preset: "+strings.Join(sim.DynamicScenarioNames, ", "))
+		arrival   = flag.String("arrival", sim.ArrivalPoisson, "arrival process: poisson, flash-crowd or diurnal")
+		rate      = flag.Float64("rate", 20, "mean payment arrivals per virtual second")
+		duration  = flag.Float64("duration", 60, "virtual seconds to simulate")
+		window    = flag.Float64("window", 0, "time-series window in virtual seconds (0 = duration/10)")
+		churn     = flag.Float64("churn", 0, "channel open/close events per virtual second")
+		rebalance = flag.Float64("rebalance", 0, "channel rebalance events per virtual second")
+		latent    = flag.Int("latent", 0, "latent channels that may open mid-run")
+		peak      = flag.Float64("peak", 0, "flash-crowd rate multiplier / diurnal swing (0 = per-process default)")
+		service   = flag.Float64("service", 0, "mean virtual service time per payment in seconds")
 	)
 	flag.Parse()
 
@@ -44,6 +71,14 @@ func main() {
 	if conc == 0 {
 		conc = runtime.GOMAXPROCS(0)
 	}
+
+	if *dynamic || *scenario != "" {
+		runDynamic(*scenario, *kind, *nodes, *scale, *mice, splitList(*schemes), *seed, conc, *retries,
+			*arrival, *rate, *duration, *window, *churn, *rebalance, *latent, *peak, *service,
+			*flashK, *flashM)
+		return
+	}
+
 	sc := sim.Scenario{
 		Kind:            *kind,
 		Nodes:           *nodes,
@@ -58,6 +93,7 @@ func main() {
 		TestbedCapHi:    *capHi,
 		Concurrency:     conc,
 		ParallelSchemes: *parallel,
+		Retries:         *retries,
 	}
 	if *flashM >= 0 {
 		sc.FlashM = *flashM
@@ -70,8 +106,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("# kind=%s nodes=%d txns=%d scale=%g mice=%.0f%% runs=%d seed=%d workers=%d\n",
-		sc.Kind, sc.Nodes, sc.Txns, sc.ScaleFactor, 100*sc.MiceFraction, sc.Runs, sc.Seed, sc.Concurrency)
+	fmt.Printf("# kind=%s nodes=%d txns=%d scale=%g mice=%.0f%% runs=%d seed=%d workers=%d retries=%d\n",
+		sc.Kind, sc.Nodes, sc.Txns, sc.ScaleFactor, 100*sc.MiceFraction, sc.Runs, sc.Seed, sc.Concurrency, sc.Retries)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheme\tsucc.ratio\tsucc.volume\tprobe msgs\tfee ratio\tmean delay")
 	for _, r := range results {
@@ -84,6 +120,107 @@ func main() {
 			r.Runs[0].MeanDelay().Round(1000))
 	}
 	w.Flush()
+}
+
+// runDynamic executes the discrete-event mode and prints the
+// per-window time series plus aggregates. All output is derived from
+// virtual time and seeded randomness, so identical invocations print
+// identical bytes (workers ≤ 1).
+func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes []string,
+	seed int64, workers, retries int, arrival string, rate, duration, window,
+	churn, rebalance float64, latent int, peak, service float64, flashK, flashM int) {
+
+	var (
+		sc  sim.DynamicScenario
+		err error
+	)
+	if scenario != "" {
+		sc, err = sim.NamedDynamicScenario(scenario, kind, nodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim:", err)
+			os.Exit(2)
+		}
+	} else {
+		sc = sim.DynamicScenario{
+			Name:        "custom",
+			Kind:        kind,
+			Nodes:       nodes,
+			ScaleFactor: scale,
+			Duration:    duration,
+			Arrival:     arrival,
+			Rate:        rate,
+			ChurnRate:   churn,
+			Peak:        peak,
+		}
+	}
+	// Flags the user set explicitly override a preset's defaults.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["arrival"] {
+		sc.Arrival = arrival
+	}
+	if set["rate"] {
+		sc.Rate = rate
+	}
+	if set["duration"] {
+		sc.Duration = duration
+	}
+	if set["churn"] {
+		sc.ChurnRate = churn
+	}
+	if set["rebalance"] {
+		sc.RebalanceRate = rebalance
+	}
+	if set["latent"] {
+		sc.LatentChannels = latent
+	}
+	if set["peak"] {
+		sc.Peak = peak
+	}
+	if set["scale"] {
+		sc.ScaleFactor = scale
+	}
+	sc.MiceFraction = mice
+	sc.Window = window
+	sc.Service = service
+	sc.Schemes = schemes
+	sc.Workers = workers
+	sc.Retries = retries
+	sc.Seed = seed
+	sc.FlashK = flashK
+	if flashM >= 0 {
+		sc.FlashM = flashM
+		sc.FlashMSet = true
+	}
+
+	results, err := sim.RunDynamicScenario(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flashsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# dynamic scenario=%s kind=%s nodes=%d scale=%g arrival=%s rate=%g/s duration=%gs churn=%g/s rebalance=%g/s latent=%d seed=%d workers=%d retries=%d\n",
+		sc.Name, sc.Kind, sc.Nodes, sc.ScaleFactor, sc.Arrival, sc.Rate, sc.Duration,
+		sc.ChurnRate, sc.RebalanceRate, sc.LatentChannels, sc.Seed, sc.Workers, sc.Retries)
+	for _, r := range results {
+		res := r.Result
+		fmt.Printf("== %s ==\n", r.Scheme)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "window\tpayments\tsucc.ratio\tsucc.volume\tprobe msgs")
+		for _, win := range res.Windows {
+			fmt.Fprintf(w, "[%gs,%gs)\t%d\t%.1f%%\t%.4g\t%d\n",
+				win.Start, win.End, win.Metrics.Payments,
+				100*win.Metrics.SuccessRatio(), win.Metrics.SuccessVolume, win.Metrics.ProbeMessages)
+		}
+		agg := res.Aggregate
+		fmt.Fprintf(w, "aggregate\t%d\t%.1f%%\t%.4g\t%d\n",
+			agg.Payments, 100*agg.SuccessRatio(), agg.SuccessVolume, agg.ProbeMessages)
+		w.Flush()
+		c := res.EventCounts
+		fmt.Printf("events: %d arrivals (%d completions), %d open, %d close, %d rebalance, %d demand-shift; fingerprint %016x\n",
+			c[event.PaymentArrival], c[event.PaymentComplete], c[event.ChannelOpen],
+			c[event.ChannelClose], c[event.Rebalance], c[event.DemandShift], res.Fingerprint)
+	}
 }
 
 func splitList(s string) []string {

@@ -22,8 +22,12 @@
 //	internal/core      the Flash router (the paper's contribution)
 //	internal/baseline  Spider, SpeedyMurmurs, ShortestPath, full-probe
 //	                   max-flow
-//	internal/trace     calibrated synthetic workloads (Ripple/Bitcoin)
-//	internal/sim       simulation engine and experiment scenarios
+//	internal/trace     calibrated synthetic workloads (Ripple/Bitcoin),
+//	                   arrival processes and lazy payment streams
+//	internal/event     deterministic discrete-event core: virtual
+//	                   clock, seeded event heap, applied-event log
+//	internal/sim       simulation engine (static replay + dynamic
+//	                   discrete-event runs) and experiment scenarios
 //	internal/wire      the prototype's wire format (paper Table 1)
 //	internal/node      TCP protocol node (probe + two-phase commit)
 //	internal/testbed   local multi-process-style cluster harness
@@ -74,6 +78,54 @@
 // identical inputs give identical metrics, and the equivalence tests in
 // internal/sim pin the workers=1 path to golden metrics captured from
 // the pre-concurrency engine.
+//
+// # Dynamic simulation
+//
+// Flash's thesis is that routing must track *dynamic* balances; the
+// dynamic engine lets the repository express that dynamism end to end
+// instead of replaying a frozen trace. RunDynamicSimulation is a
+// discrete-event loop over a virtual clock (float64 seconds):
+//
+//   - Payments arrive through a seeded ArrivalProcess — constant-rate
+//     Poisson, FlashCrowd surges, or Diurnal demand drift — pulled
+//     lazily from a PaymentStream one look-ahead event at a time, so
+//     unbounded workloads cost O(1) memory.
+//   - Churn events mutate the live network mid-run: ChannelClose
+//     freezes a channel (probes see zero, new holds are rejected,
+//     in-flight holds still settle) and invalidates the Flash
+//     routing-table entries crossing it; ChannelOpen reopens or funds
+//     it (latent channels registered up-front may first appear
+//     mid-run); Rebalance evens a channel's directions without ever
+//     dipping below outstanding holds; DemandShift rescales payment
+//     amounts from that instant on.
+//   - Completed payments are recorded into the aggregate Metrics and
+//     into per-window time-series buckets (success ratio / volume /
+//     probing per window), the view that makes flash crowds and
+//     depletion visible.
+//   - Failed payments can be re-routed: DynamicOptions.Retries (and
+//     Options.Retries in the static replay, -retries on flashsim)
+//     retries with seeded jittered backoff — virtual in the event
+//     loop, real micro-sleeps in the concurrent replay.
+//
+// Time model and determinism: events are totally ordered by (virtual
+// time, scheduling sequence); all randomness — arrival times, service
+// times, churn schedules, backoffs, per-payment routing choices — is
+// drawn from seeded streams independent of wall clock. With Workers ≤
+// 1 a dynamic run is a pure function of its seeds: the applied-event
+// log (exposed as an FNV-1a fingerprint in DynamicResult) and every
+// metric are bit-identical across runs, which the determinism tests
+// pin. Workers > 1 routes payments whose service intervals overlap on
+// real goroutines — outcomes then depend on scheduling, exactly as in
+// the concurrent static replay. With zero churn, zero service time,
+// one station and arrivals pinned to a trace (NewReplayStream), the
+// dynamic engine reproduces the sequential replay's metrics exactly
+// (the zero-churn equivalence test).
+//
+// A scenario catalogue (NamedDynamicScenario: "steady", "flash-crowd",
+// "depletion-rebalance", "churn") drives comparable cells across
+// schemes; cmd/flashsim exposes it via -dynamic/-scenario/-arrival/
+// -rate/-duration/-churn/-retries, and internal/exp prints the
+// dynamic-scenario table alongside the paper's figures.
 //
 // See the examples directory for runnable programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-versus-measured

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/gossip"
 	"repro/internal/graph"
 	"repro/internal/htlc"
@@ -76,6 +77,82 @@ type (
 	// Flash.Prewarm, the parallel mice-table build.
 	Pair = core.Pair
 )
+
+// Dynamic-network simulation: the discrete-event engine (virtual
+// clock, seeded event heap), time-varying arrival processes, and the
+// churn-capable scenario harness.
+type (
+	// Event is one scheduled occurrence in a dynamic run (payment
+	// arrival/completion, channel open/close, rebalance, demand shift).
+	Event = event.Event
+	// EventKind enumerates the dynamic event kinds.
+	EventKind = event.Kind
+	// EventQueue is the seeded (Time, Seq)-ordered event heap.
+	EventQueue = event.Queue
+	// ArrivalProcess generates virtual payment arrival times.
+	ArrivalProcess = trace.ArrivalProcess
+	// PoissonArrivals is the constant-rate arrival process.
+	PoissonArrivals = trace.Poisson
+	// FlashCrowdArrivals is the surge (flash-crowd) arrival process.
+	FlashCrowdArrivals = trace.FlashCrowd
+	// DiurnalArrivals is the sinusoidal demand-drift arrival process.
+	DiurnalArrivals = trace.Diurnal
+	// PaymentSource lazily yields timestamped payments.
+	PaymentSource = trace.PaymentSource
+	// PaymentStream pairs a generator with an arrival process, lazily.
+	PaymentStream = trace.Stream
+	// DynamicOptions tunes RunDynamicSimulation.
+	DynamicOptions = sim.DynamicOptions
+	// DynamicResult is a dynamic run's aggregate + time-series outcome.
+	DynamicResult = sim.DynamicResult
+	// MetricsWindow is one time-series bucket of a dynamic run.
+	MetricsWindow = sim.Window
+	// DynamicScenario describes one dynamic experiment cell.
+	DynamicScenario = sim.DynamicScenario
+	// DynamicSchemeResult pairs a scheme with its dynamic result.
+	DynamicSchemeResult = sim.DynamicSchemeResult
+)
+
+// Dynamic event kinds.
+const (
+	EventPaymentArrival  = event.PaymentArrival
+	EventPaymentComplete = event.PaymentComplete
+	EventChannelOpen     = event.ChannelOpen
+	EventChannelClose    = event.ChannelClose
+	EventRebalance       = event.Rebalance
+	EventDemandShift     = event.DemandShift
+)
+
+// DynamicScenarioNames lists the built-in dynamic scenario catalogue
+// (steady, flash-crowd, depletion-rebalance, churn).
+var DynamicScenarioNames = sim.DynamicScenarioNames
+
+// NewPaymentStream lazily pairs a trace generator with an arrival
+// process.
+func NewPaymentStream(gen *TraceGenerator, arr ArrivalProcess, seed int64) (*PaymentStream, error) {
+	return trace.NewStream(gen, arr, seed)
+}
+
+// NewReplayStream wraps an existing payment list as a PaymentSource
+// with arrivals pinned to the trace order.
+func NewReplayStream(payments []Payment) PaymentSource { return trace.NewReplayStream(payments) }
+
+// RunDynamicSimulation replays a payment source through the
+// discrete-event engine: virtual time, lazy arrivals, churn events
+// mutating the live network, per-window time-series metrics.
+func RunDynamicSimulation(net *Network, r Router, src PaymentSource, horizon float64, churn []Event, miceThreshold float64, opts DynamicOptions) (DynamicResult, error) {
+	return sim.RunDynamic(net, r, src, horizon, churn, miceThreshold, opts)
+}
+
+// NamedDynamicScenario returns a catalogue dynamic scenario.
+func NamedDynamicScenario(name, kind string, nodes int) (DynamicScenario, error) {
+	return sim.NamedDynamicScenario(name, kind, nodes)
+}
+
+// RunDynamicScenario executes a dynamic scenario across its schemes.
+func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
+	return sim.RunDynamicScenario(sc)
+}
 
 // Topology maintenance (gossip) and payment security (HTLC) — the two
 // layers the paper assumes (§2.1, §3.1); built here so the repository

@@ -109,11 +109,12 @@ type Flash struct {
 	tablesMu sync.RWMutex
 	tables   map[topo.NodeID]*routingTable
 
-	elephants     atomic.Int64
-	mice          atomic.Int64
-	tableHits     atomic.Int64
-	tableMisses   atomic.Int64
-	pathsReplaced atomic.Int64
+	elephants          atomic.Int64
+	mice               atomic.Int64
+	tableHits          atomic.Int64
+	tableMisses        atomic.Int64
+	pathsReplaced      atomic.Int64
+	tableInvalidations atomic.Int64
 }
 
 // New returns a Flash router with the given configuration. Invalid
@@ -169,6 +170,50 @@ func (f *Flash) Refresh() {
 	f.tables = make(map[topo.NodeID]*routingTable)
 }
 
+// InvalidateChannel drops every cached routing-table entry whose paths
+// traverse the channel u–v (in either direction), across all senders.
+// It is the targeted counterpart of Refresh for a single topology
+// change: when the dynamic network closes or opens a channel, only the
+// entries actually routing over it are recomputed on their next use
+// ("all entries are re-computed using the latest G", §3.3, narrowed to
+// the affected entries). Safe concurrently with routing — it takes the
+// same per-table locks payments do. Returns the number of entries
+// dropped.
+func (f *Flash) InvalidateChannel(u, v topo.NodeID) int {
+	dropped := 0
+	f.tablesMu.RLock()
+	for _, t := range f.tables {
+		t.mu.Lock()
+		for receiver, e := range t.entries {
+			if entryUsesChannel(e, u, v) {
+				delete(t.entries, receiver)
+				dropped++
+			}
+		}
+		t.mu.Unlock()
+	}
+	f.tablesMu.RUnlock()
+	f.tableInvalidations.Add(int64(dropped))
+	return dropped
+}
+
+// entryUsesChannel reports whether any cached path of e (live set or
+// replacement pool) crosses the channel u–v.
+func entryUsesChannel(e *tableEntry, u, v topo.NodeID) bool {
+	return pathsUseChannel(e.paths, u, v) || pathsUseChannel(e.all, u, v)
+}
+
+func pathsUseChannel(paths [][]topo.NodeID, u, v topo.NodeID) bool {
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			if (p[i] == u && p[i+1] == v) || (p[i] == v && p[i+1] == u) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Pair identifies one (sender, receiver) routing-table slot for
 // Prewarm.
 type Pair struct {
@@ -214,12 +259,13 @@ func (f *Flash) Prewarm(g *topo.Graph, pairs []Pair, workers int) int {
 
 // Stats is a snapshot of the router's internal counters.
 type Stats struct {
-	Elephants     int64 // payments routed by the elephant algorithm
-	Mice          int64 // payments routed by the mice algorithm
-	TableHits     int64 // mice payments whose receiver was cached
-	TableMisses   int64 // mice payments requiring a Yen computation
-	PathsReplaced int64 // dead table paths replaced by the next Yen path
-	TableEntries  int   // receivers currently cached across all senders
+	Elephants          int64 // payments routed by the elephant algorithm
+	Mice               int64 // payments routed by the mice algorithm
+	TableHits          int64 // mice payments whose receiver was cached
+	TableMisses        int64 // mice payments requiring a Yen computation
+	PathsReplaced      int64 // dead table paths replaced by the next Yen path
+	TableInvalidations int64 // entries dropped by InvalidateChannel (churn)
+	TableEntries       int   // receivers currently cached across all senders
 }
 
 // Stats returns a snapshot of the router's counters.
@@ -233,12 +279,13 @@ func (f *Flash) Stats() Stats {
 	}
 	f.tablesMu.RUnlock()
 	return Stats{
-		Elephants:     f.elephants.Load(),
-		Mice:          f.mice.Load(),
-		TableHits:     f.tableHits.Load(),
-		TableMisses:   f.tableMisses.Load(),
-		PathsReplaced: f.pathsReplaced.Load(),
-		TableEntries:  entries,
+		Elephants:          f.elephants.Load(),
+		Mice:               f.mice.Load(),
+		TableHits:          f.tableHits.Load(),
+		TableMisses:        f.tableMisses.Load(),
+		PathsReplaced:      f.pathsReplaced.Load(),
+		TableInvalidations: f.tableInvalidations.Load(),
+		TableEntries:       entries,
 	}
 }
 

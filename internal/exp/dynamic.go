@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+// dynamicDuration returns the simulated horizon and arrival rate per
+// scale.
+func (o Options) dynamicShape() (duration, rate float64) {
+	if o.Full {
+		return 120, 20
+	}
+	if o.Tiny {
+		return 8, 6
+	}
+	return 30, 15
+}
+
+// Dynamic runs the dynamic-scenario catalogue — steady-state,
+// flash-crowd, channel-depletion-with-rebalance, and churn — over the
+// Ripple-like topology and reports, per scheme, the aggregate success
+// ratio and volume plus the worst and best time-series window, the
+// time-resolved view no static figure can show. Scenario cells are
+// independent and run on the Options.Workers pool; output order is
+// fixed and, like every figure, deterministic in the seed.
+func Dynamic(o Options) error {
+	o.header("Dynamic scenarios", "discrete-event engine: arrivals, churn, rebalancing")
+	duration, rate := o.dynamicShape()
+	schemes := []string{sim.SchemeFlash, sim.SchemeSpider, sim.SchemeShortestPath}
+
+	names := sim.DynamicScenarioNames
+	w := o.table("scenario\tscheme\tsucc.ratio\tsucc.volume\twindow min..max\tchurn(open/close/rebal)")
+	rows, err := o.runCells(len(names), func(i int) (string, error) {
+		sc, err := sim.NamedDynamicScenario(names[i], sim.KindRipple, o.rippleNodes())
+		if err != nil {
+			return "", err
+		}
+		sc.Duration = duration
+		sc.Rate = rate
+		sc.Schemes = schemes
+		sc.Seed = o.seed()
+		results, err := sim.RunDynamicScenario(sc)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", names[i], err)
+		}
+		var b strings.Builder
+		for _, r := range results {
+			agg := r.Result.Aggregate
+			lo, hi := windowRange(r.Result)
+			c := r.Result.EventCounts
+			fmt.Fprintf(&b, "%s\t%s\t%.1f%%\t%.4g\t%.0f%%..%.0f%%\t%d/%d/%d\n",
+				names[i], r.Scheme, 100*agg.SuccessRatio(), agg.SuccessVolume,
+				100*lo, 100*hi,
+				c[event.ChannelOpen], c[event.ChannelClose], c[event.Rebalance])
+		}
+		return b.String(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Fprint(w, row)
+	}
+	return w.Flush()
+}
+
+// windowRange returns the lowest and highest per-window success ratio
+// among windows that saw payments.
+func windowRange(res sim.DynamicResult) (lo, hi float64) {
+	lo, hi = 1, 0
+	seen := false
+	for _, win := range res.Windows {
+		if win.Metrics.Payments == 0 {
+			continue
+		}
+		seen = true
+		r := win.Metrics.SuccessRatio()
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if !seen {
+		return 0, 0
+	}
+	return lo, hi
+}

@@ -29,6 +29,7 @@ func TestEveryFigureRunsTiny(t *testing.T) {
 		{"Fig10", Fig10, "Figure 10"},
 		{"Fig11", Fig11, "Figure 11"},
 		{"Headline", Headline, "Headline"},
+		{"Dynamic", Dynamic, "Dynamic scenarios"},
 		{"AblationElephantK", AblationElephantK, "elephant path budget"},
 		{"AblationMiceOrder", AblationMiceOrder, "mice path order"},
 		{"AblationProbeAllK", AblationProbeAllK, "Algorithm 1 termination"},

@@ -1,0 +1,278 @@
+package pcn
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestCloseChannelRejectsNewHolds(t *testing.T) {
+	n := lineNet(t)
+	if err := n.SetChannelOpen(1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if n.IsChannelOpen(1, 2) {
+		t.Error("channel reports open after close")
+	}
+	if got := n.Available(1, 2); got != 0 {
+		t.Errorf("Available over closed channel = %v, want 0", got)
+	}
+	tx, err := n.Begin(0, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []topo.NodeID{0, 1, 2}
+	if err := tx.Hold(path, 10); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("hold over closed channel = %v, want ErrInsufficient", err)
+	}
+	info, err := tx.Probe(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info[0].Available != 100 {
+		t.Errorf("open hop probes %v, want 100", info[0].Available)
+	}
+	if info[1].Available != 0 || info[1].ReverseAvailable != 0 {
+		t.Errorf("closed hop probes %+v, want zero availability", info[1])
+	}
+	tx.Abort()
+
+	// Reopen: frozen balances become spendable again.
+	if err := n.SetChannelOpen(1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := n.Begin(0, 2, 10)
+	if err := tx2.Hold(path, 10); err != nil {
+		t.Fatalf("hold after reopen: %v", err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseChannelLetsInflightHoldsSettle(t *testing.T) {
+	n := lineNet(t)
+	path := []topo.NodeID{0, 1, 2}
+	tx, _ := n.Begin(0, 2, 30)
+	if err := tx.Hold(path, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetChannelOpen(1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	before := n.TotalFunds()
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit of pre-close hold: %v", err)
+	}
+	if after := n.TotalFunds(); math.Abs(after-before) > 1e-9 {
+		t.Errorf("funds not conserved across close+commit: %v -> %v", before, after)
+	}
+	if got := n.Balance(2, 1); got != 130 {
+		t.Errorf("reverse balance after commit = %v, want 130", got)
+	}
+}
+
+func TestRegisterChannel(t *testing.T) {
+	n := lineNet(t)
+	base := n.Graph().NumChannels()
+	idx, err := n.RegisterChannel(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != base {
+		t.Errorf("latent channel index = %d, want %d", idx, base)
+	}
+	if !n.Graph().HasChannel(0, 2) {
+		t.Error("latent channel missing from topology")
+	}
+	if n.IsChannelOpen(0, 2) {
+		t.Error("latent channel should start closed")
+	}
+	// Registering an existing channel is a no-op returning its index.
+	again, err := n.RegisterChannel(2, 0)
+	if err != nil || again != idx {
+		t.Errorf("re-register = %d, %v; want %d, nil", again, err, idx)
+	}
+	// Open + fund, then pay over the new direct channel.
+	if err := n.SetChannelOpen(0, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetBalance(0, 2, 50, 50); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := n.Begin(0, 2, 40)
+	if err := tx.Hold([]topo.NodeID{0, 2}, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Balance(0, 2); got != 10 {
+		t.Errorf("balance after paying over latent channel = %v", got)
+	}
+}
+
+func TestRebalanceEvensDirections(t *testing.T) {
+	g := topo.New(2)
+	g.MustAddChannel(0, 1)
+	n := New(g)
+	n.SetBalance(0, 1, 90, 10)
+	moved, err := n.Rebalance(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 40 {
+		t.Errorf("moved %v, want 40", moved)
+	}
+	if a, b := n.Balance(0, 1), n.Balance(1, 0); a != 50 || b != 50 {
+		t.Errorf("balances after rebalance = %v/%v, want 50/50", a, b)
+	}
+	// Already balanced: nothing moves.
+	moved, _ = n.Rebalance(0, 1)
+	if moved != 0 {
+		t.Errorf("second rebalance moved %v", moved)
+	}
+}
+
+func TestRebalanceRespectsHolds(t *testing.T) {
+	g := topo.New(2)
+	g.MustAddChannel(0, 1)
+	n := New(g)
+	n.SetBalance(0, 1, 100, 0)
+	tx, _ := n.Begin(0, 1, 80)
+	if err := tx.Hold([]topo.NodeID{0, 1}, 80); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := n.Rebalance(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target is 50/50 but 80 is held on 0→1: only 20 may move.
+	if moved != 20 {
+		t.Errorf("moved %v, want 20", moved)
+	}
+	if got := n.Balance(0, 1); got != 80 {
+		t.Errorf("held direction reduced to %v, below its holds", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit after rebalance: %v", err)
+	}
+}
+
+func TestFundChannelRespectsHolds(t *testing.T) {
+	g := topo.New(2)
+	g.MustAddChannel(0, 1)
+	n := New(g)
+	n.SetBalance(0, 1, 100, 100)
+	tx, _ := n.Begin(0, 1, 50)
+	if err := tx.Hold([]topo.NodeID{0, 1}, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Funding below the outstanding hold clamps to the hold.
+	if err := n.FundChannel(0, 1, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Balance(0, 1); got != 50 {
+		t.Errorf("held direction funded to %v, want clamp at 50", got)
+	}
+	if got := n.Balance(1, 0); got != 10 {
+		t.Errorf("free direction funded to %v, want 10", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit after funding: %v", err)
+	}
+	if got := n.Balance(0, 1); got != 0 {
+		t.Errorf("balance after commit = %v, want 0 (never negative)", got)
+	}
+	if err := n.FundChannel(0, 1, -1, 0); err == nil {
+		t.Error("negative funding accepted")
+	}
+}
+
+func TestRebalanceClosedChannelNoop(t *testing.T) {
+	g := topo.New(2)
+	g.MustAddChannel(0, 1)
+	n := New(g)
+	n.SetBalance(0, 1, 90, 10)
+	n.SetChannelOpen(0, 1, false)
+	moved, err := n.Rebalance(0, 1)
+	if err != nil || moved != 0 {
+		t.Errorf("rebalance of closed channel = %v, %v; want 0, nil", moved, err)
+	}
+}
+
+func TestChurnErrorsOnMissingChannel(t *testing.T) {
+	n := lineNet(t)
+	if err := n.SetChannelOpen(0, 2, false); err == nil {
+		t.Error("SetChannelOpen on missing channel succeeded")
+	}
+	if _, err := n.Rebalance(0, 2); err == nil {
+		t.Error("Rebalance on missing channel succeeded")
+	}
+	if n.IsChannelOpen(0, 2) {
+		t.Error("missing channel reports open")
+	}
+}
+
+// TestChurnConcurrentWithPayments drives open/close/rebalance toggles
+// from one goroutine while payment sessions hammer the same channels
+// from others — the race-detector coverage for churn mutating a live
+// network. Invariants: no data race (the CI -race run), holds never
+// overbook, and funds are conserved once everything settles.
+func TestChurnConcurrentWithPayments(t *testing.T) {
+	g := topo.New(4)
+	g.MustAddChannel(0, 1)
+	g.MustAddChannel(1, 2)
+	g.MustAddChannel(2, 3)
+	n := New(g)
+	for _, e := range [][2]topo.NodeID{{0, 1}, {1, 2}, {2, 3}} {
+		if err := n.SetBalance(e[0], e[1], 1000, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := n.TotalFunds()
+
+	var wg sync.WaitGroup
+	const payers = 4
+	for w := 0; w < payers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			path := []topo.NodeID{0, 1, 2, 3}
+			for i := 0; i < 300; i++ {
+				tx, err := n.Begin(0, 3, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Hold(path, 1); err == nil {
+					if i%2 == 0 {
+						tx.Commit()
+					} else {
+						tx.Abort()
+					}
+				} else {
+					tx.Abort()
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			n.SetChannelOpen(1, 2, i%2 == 0)
+			n.Rebalance(0, 1)
+			n.Rebalance(2, 3)
+		}
+		n.SetChannelOpen(1, 2, true)
+	}()
+	wg.Wait()
+
+	if after := n.TotalFunds(); math.Abs(after-before) > 1e-6 {
+		t.Errorf("funds not conserved under churn: %v -> %v", before, after)
+	}
+}

@@ -73,12 +73,18 @@ type HopInfo struct {
 
 // channel is the mutable state of one payment channel, guarded by its
 // own lock. Direction 0 is A→B (canonical endpoint order), direction 1
-// is B→A.
+// is B→A. closed marks a channel that is currently out of service
+// (cooperatively closed, or latent — registered but not yet opened):
+// probes report zero availability and new holds are rejected, while
+// balances stay frozen in place and holds established before the close
+// still commit or abort normally, as in a cooperative close that waits
+// out in-flight HTLCs.
 type channel struct {
-	mu   sync.Mutex
-	bal  [2]float64
-	held [2]float64
-	fee  [2]FeeSchedule
+	mu     sync.Mutex
+	bal    [2]float64
+	held   [2]float64
+	fee    [2]FeeSchedule
+	closed bool
 }
 
 // Network is a payment channel network: a topology plus per-channel
@@ -161,6 +167,117 @@ func (n *Network) SetFee(u, v topo.NodeID, fee FeeSchedule) error {
 	return nil
 }
 
+// RegisterChannel extends the topology with a latent channel between u
+// and v: the edge joins the graph, and a closed, unfunded channel slot
+// is appended for it. Latent channels are how a dynamic scenario
+// expresses channels that open mid-run — the topology is the union of
+// every channel that ever exists, liveness and funding are dynamic.
+// Registering an existing channel returns its index unchanged.
+//
+// RegisterChannel mutates the shared topology and channel slice and is
+// therefore NOT safe to call while payments are in flight; scenarios
+// register all latent channels before the replay starts. (Open/close
+// toggles on registered channels — SetChannelOpen — are fully
+// concurrent-safe.)
+func (n *Network) RegisterChannel(u, v topo.NodeID) (int, error) {
+	if n.graph.HasChannel(u, v) {
+		return n.graph.ChannelIndex(u, v), nil
+	}
+	idx, err := n.graph.AddChannel(u, v)
+	if err != nil {
+		return -1, err
+	}
+	n.chans = append(n.chans, channel{closed: true})
+	return idx, nil
+}
+
+// SetChannelOpen opens or closes the channel joining u and v. Closing
+// freezes its balances in place (new holds are rejected, probes see
+// zero availability; in-flight holds still settle); reopening makes
+// the frozen balances spendable again. Safe concurrently with
+// payments: the toggle happens under the channel's own lock.
+func (n *Network) SetChannelOpen(u, v topo.NodeID, open bool) error {
+	idx, _, err := n.dir(u, v)
+	if err != nil {
+		return err
+	}
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.closed = !open
+	return nil
+}
+
+// IsChannelOpen reports whether the channel joining u and v exists and
+// is currently in service.
+func (n *Network) IsChannelOpen(u, v topo.NodeID) bool {
+	idx, _, err := n.dir(u, v)
+	if err != nil {
+		return false
+	}
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return !ch.closed
+}
+
+// FundChannel sets the directional balances of the channel joining u
+// and v like SetBalance, but never below that direction's outstanding
+// holds — the safe funding primitive for churn ChannelOpen events,
+// which may race in-flight payments (a plain SetBalance below an
+// active hold would let the later commit drive the balance negative).
+func (n *Network) FundChannel(u, v topo.NodeID, balUV, balVU float64) error {
+	if balUV < 0 || balVU < 0 {
+		return fmt.Errorf("pcn: negative funding for channel %d-%d", u, v)
+	}
+	idx, d, err := n.dir(u, v)
+	if err != nil {
+		return err
+	}
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.bal[d] = math.Max(balUV, ch.held[d])
+	ch.bal[1-d] = math.Max(balVU, ch.held[1-d])
+	return nil
+}
+
+// Rebalance evens the two directional balances of the channel joining
+// u and v — the offchain rebalancing operation (circular self-payment
+// or submarine swap) a depleted channel's owner performs. Funds move
+// from the richer direction towards the 50/50 split, but never below
+// that direction's outstanding holds, so the hold invariants survive
+// concurrent payments. It returns the amount moved (0 for closed or
+// already-balanced channels).
+func (n *Network) Rebalance(u, v topo.NodeID) (float64, error) {
+	idx, _, err := n.dir(u, v)
+	if err != nil {
+		return 0, err
+	}
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.closed {
+		return 0, nil
+	}
+	target := (ch.bal[0] + ch.bal[1]) / 2
+	from := 0
+	if ch.bal[1] > ch.bal[0] {
+		from = 1
+	}
+	floor := ch.held[from]
+	if floor < target {
+		floor = target
+	}
+	move := ch.bal[from] - floor
+	if move <= 0 {
+		return 0, nil
+	}
+	ch.bal[from] -= move
+	ch.bal[1-from] += move
+	return move, nil
+}
+
 // Balance returns the current balance of hop u→v (0 if no channel). It
 // does not subtract holds; see Available.
 func (n *Network) Balance(u, v topo.NodeID) float64 {
@@ -175,7 +292,7 @@ func (n *Network) Balance(u, v topo.NodeID) float64 {
 }
 
 // Available returns the spendable balance of hop u→v: balance minus
-// outstanding holds.
+// outstanding holds, or 0 when the channel is closed.
 func (n *Network) Available(u, v topo.NodeID) float64 {
 	idx, d, err := n.dir(u, v)
 	if err != nil {
@@ -184,6 +301,9 @@ func (n *Network) Available(u, v topo.NodeID) float64 {
 	ch := &n.chans[idx]
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
+	if ch.closed {
+		return 0
+	}
 	return ch.bal[d] - ch.held[d]
 }
 

@@ -192,10 +192,14 @@ func (t *Tx) Probe(path []topo.NodeID) ([]HopInfo, error) {
 		ch := &t.net.chans[h.idx]
 		d := h.dir
 		info[i] = HopInfo{
-			Available:        ch.bal[d] - ch.held[d],
-			Fee:              ch.fee[d],
-			ReverseAvailable: ch.bal[1-d] - ch.held[1-d],
-			ReverseFee:       ch.fee[1-d],
+			Fee:        ch.fee[d],
+			ReverseFee: ch.fee[1-d],
+		}
+		// A closed channel probes like a depleted one: zero availability
+		// in both directions (the probed node reports it cannot forward).
+		if !ch.closed {
+			info[i].Available = ch.bal[d] - ch.held[d]
+			info[i].ReverseAvailable = ch.bal[1-d] - ch.held[1-d]
 		}
 	}
 	t.net.unlockChannels(order)
@@ -239,10 +243,11 @@ func (t *Tx) Hold(path []topo.NodeID, amount float64) error {
 	order := t.lockOrder(hops)
 	t.net.lockChannels(order)
 	defer t.net.unlockChannels(order)
-	// Phase 1a: feasibility check.
+	// Phase 1a: feasibility check. A closed channel rejects like a
+	// depleted one — routers already handle the capacity-failure path.
 	for _, h := range hops {
 		ch := &t.net.chans[h.idx]
-		if ch.bal[h.dir]-ch.held[h.dir] < amount-balanceEpsilon {
+		if ch.closed || ch.bal[h.dir]-ch.held[h.dir] < amount-balanceEpsilon {
 			return ErrInsufficient
 		}
 	}

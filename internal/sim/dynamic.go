@@ -1,0 +1,631 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/pcn"
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// DynamicOptions tunes RunDynamic, the discrete-event replay.
+type DynamicOptions struct {
+	// Workers is the number of service stations: how many payments may
+	// be in service at the same virtual instant. 1 (or less) processes
+	// payments strictly one at a time — the deterministic mode, whose
+	// event log and metrics are pure functions of the seeds. Larger
+	// values route overlapping payments on real goroutines, so their
+	// balance interleaving (and therefore outcomes) is
+	// scheduling-dependent, exactly as in RunOpts.
+	Workers int
+
+	// Seed derives the engine's schedule randomness (virtual service
+	// times, retry backoffs) and, when Workers > 1, each payment's
+	// per-session RNG.
+	Seed int64
+
+	// Retries re-routes an undelivered payment up to this many extra
+	// times, each after a seeded jittered virtual backoff — the
+	// discrete-event counterpart of Options.Retries.
+	Retries int
+
+	// Window is the time-series bucket width in virtual seconds;
+	// completed payments are recorded into the window containing their
+	// completion instant. 0 defaults to a tenth of the horizon.
+	Window float64
+
+	// Service is the mean virtual service time of a payment in seconds
+	// (exponentially distributed, seeded). 0 completes payments at
+	// their arrival instant. Service times model delivery latency:
+	// routing itself executes atomically at dispatch.
+	Service float64
+
+	// RecordLog retains the full applied-event log in the result (the
+	// fingerprint and per-kind counts are always available).
+	RecordLog bool
+}
+
+// Window is one time-series bucket of a dynamic run.
+type Window struct {
+	Start, End float64 // virtual seconds
+	Metrics    Metrics
+}
+
+// DynamicResult is the outcome of a dynamic run: the familiar
+// aggregate metrics plus their time-series decomposition and the
+// determinism evidence.
+type DynamicResult struct {
+	Aggregate   Metrics
+	Windows     []Window
+	EventCounts [event.NumKinds]int
+	Fingerprint uint64        // FNV-1a over the applied-event log
+	Log         []event.Event // populated when DynamicOptions.RecordLog
+	Horizon     float64
+}
+
+// WindowRatios renders the per-window success ratios (for quick
+// inspection and tests).
+func (r DynamicResult) WindowRatios() []float64 {
+	out := make([]float64, len(r.Windows))
+	for i, w := range r.Windows {
+		out[i] = w.Metrics.SuccessRatio()
+	}
+	return out
+}
+
+// dynPayment is a payment moving through the engine: queued, in
+// service, or awaiting a retry.
+type dynPayment struct {
+	p       trace.Payment
+	attempt int
+	total   routeOutcome     // accumulated across attempts
+	done    chan routeResult // non-nil while in service on a goroutine
+	inline  routeResult      // outcome when routed inline (Workers ≤ 1)
+}
+
+type routeResult struct {
+	out routeOutcome
+	err error
+}
+
+// RunDynamic replays a payment source against net under r inside a
+// discrete-event loop: payment arrivals are pulled lazily from src
+// (one look-ahead event at a time, so unbounded workloads cost O(1)
+// memory), churn events mutate the live network as the virtual clock
+// passes them, and completed payments are recorded both into the
+// aggregate metrics and into per-window time-series buckets.
+//
+// Churn semantics: ChannelClose freezes a channel (and, when r is
+// Flash, invalidates the routing-table entries crossing it);
+// ChannelOpen reopens it, funding each direction with the event's
+// Amount when positive; Rebalance evens a channel's directions;
+// DemandShift rescales the source's payment amounts when the source
+// supports it (trace.Stream does).
+//
+// With Workers ≤ 1, Service = 0 and arrivals pinned to an existing
+// trace (trace.NewReplayStream), the aggregate metrics reproduce
+// RunOpts' sequential replay exactly — the equivalence the tests pin.
+func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horizon float64, churn []event.Event, miceThreshold float64, opts DynamicOptions) (DynamicResult, error) {
+	if horizon <= 0 {
+		return DynamicResult{}, fmt.Errorf("sim: dynamic horizon must be positive, got %v", horizon)
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = horizon / 10
+	}
+	res := DynamicResult{Horizon: horizon}
+	fl, _ := r.(*core.Flash) // nil for non-Flash routers
+
+	queue := event.NewQueue()
+	var clock event.Clock
+	log := event.Log{Retain: opts.RecordLog}
+	seeded := workers > 1
+
+	// Schedule randomness (service times, retry backoffs) is its own
+	// seeded stream, independent of routing, so event timestamps do not
+	// depend on routing outcomes.
+	schedRNG := rand.New(rand.NewSource(paymentSeed(opts.Seed, 0x5C4ED)))
+
+	for _, e := range churn {
+		switch e.Kind {
+		case event.ChannelOpen, event.ChannelClose, event.Rebalance, event.DemandShift:
+			if e.Time < horizon {
+				queue.Schedule(e)
+			}
+		default:
+			return res, fmt.Errorf("sim: churn schedule contains %v event", e.Kind)
+		}
+	}
+
+	pending := make(map[int64]*dynPayment)
+	var (
+		busy  int
+		waitQ []int64 // payment IDs awaiting a free station, FIFO
+	)
+
+	// pullArrival schedules the source's next arrival, if it falls
+	// inside the horizon. Exactly one future first-attempt arrival is
+	// pending at any time, which keeps the heap small and the source
+	// lazy. Degenerate payments are skipped here, like in RunOpts.
+	srcDone := false
+	pullArrival := func() {
+		for !srcDone {
+			p, at, ok := src.Next()
+			if !ok || at >= horizon {
+				srcDone = true
+				return
+			}
+			if p.Sender == p.Receiver || p.Amount <= 0 {
+				continue
+			}
+			pending[int64(p.ID)] = &dynPayment{p: p}
+			queue.Schedule(event.Event{Time: at, Kind: event.PaymentArrival, ID: int64(p.ID)})
+			return
+		}
+	}
+
+	// dispatch puts dp in service at virtual time t: the routing attempt
+	// runs now (inline for the deterministic single station, on a
+	// goroutine when stations may overlap), and the completion is
+	// scheduled after the drawn virtual service time.
+	dispatch := func(dp *dynPayment, t float64) {
+		busy++
+		service := 0.0
+		if opts.Service > 0 {
+			service = schedRNG.ExpFloat64() * opts.Service
+		}
+		seed := attemptSeed(paymentSeed(opts.Seed, int64(dp.p.ID)), dp.attempt)
+		if workers == 1 {
+			out, err := routeAttempt(net, r, dp.p, seed, seeded)
+			dp.inline = routeResult{out: out, err: err}
+		} else {
+			dp.done = make(chan routeResult, 1)
+			go func(p trace.Payment, done chan routeResult) {
+				out, err := routeAttempt(net, r, p, seed, seeded)
+				done <- routeResult{out: out, err: err}
+			}(dp.p, dp.done)
+		}
+		queue.Schedule(event.Event{
+			Time: t + service, Kind: event.PaymentComplete,
+			ID: int64(dp.p.ID), Attempt: dp.attempt,
+		})
+	}
+
+	windowFor := func(t float64) *Window {
+		idx := int(t / window)
+		for len(res.Windows) <= idx {
+			start := float64(len(res.Windows)) * window
+			res.Windows = append(res.Windows, Window{Start: start, End: start + window})
+		}
+		return &res.Windows[idx]
+	}
+
+	pullArrival()
+	for queue.Len() > 0 {
+		e, _ := queue.Pop()
+		clock.AdvanceTo(e.Time)
+		log.Record(e)
+
+		switch e.Kind {
+		case event.PaymentArrival:
+			if e.Attempt == 0 {
+				pullArrival()
+			}
+			dp := pending[e.ID]
+			dp.attempt = e.Attempt
+			if busy < workers {
+				dispatch(dp, e.Time)
+			} else {
+				waitQ = append(waitQ, e.ID)
+			}
+
+		case event.PaymentComplete:
+			dp := pending[e.ID]
+			result := dp.inline
+			if dp.done != nil {
+				result = <-dp.done
+				dp.done = nil
+			}
+			busy--
+			if result.err != nil {
+				res.finishLog(&log)
+				return res, result.err
+			}
+			dp.total.add(result.out)
+			if result.out.delivered || dp.attempt >= opts.Retries {
+				delete(pending, e.ID)
+				t := dp.total
+				dp.total = routeOutcome{}
+				res.Aggregate.Record(dp.p.Amount, miceThreshold, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
+				windowFor(e.Time).Metrics.Record(dp.p.Amount, miceThreshold, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
+			} else {
+				// Retry after a jittered virtual backoff: 50ms · 2^attempt,
+				// scaled by [0.5, 1.5) — long enough for the racing holds of
+				// the same instant to have settled.
+				backoff := 0.05 * float64(uint(1)<<uint(dp.attempt)) * (0.5 + schedRNG.Float64())
+				queue.Schedule(event.Event{
+					Time: e.Time + backoff, Kind: event.PaymentArrival,
+					ID: e.ID, Attempt: dp.attempt + 1,
+				})
+			}
+			if len(waitQ) > 0 && busy < workers {
+				next := waitQ[0]
+				waitQ = waitQ[1:]
+				dispatch(pending[next], e.Time)
+			}
+
+		case event.ChannelClose:
+			if err := net.SetChannelOpen(e.A, e.B, false); err != nil {
+				return res, fmt.Errorf("sim: churn close: %w", err)
+			}
+			if fl != nil {
+				fl.InvalidateChannel(e.A, e.B)
+			}
+
+		case event.ChannelOpen:
+			if err := net.SetChannelOpen(e.A, e.B, true); err != nil {
+				return res, fmt.Errorf("sim: churn open: %w", err)
+			}
+			if e.Amount > 0 {
+				// FundChannel, not SetBalance: funding must never undercut
+				// holds a concurrent in-flight payment already owns.
+				if err := net.FundChannel(e.A, e.B, e.Amount, e.Amount); err != nil {
+					return res, fmt.Errorf("sim: churn open funding: %w", err)
+				}
+			}
+			if fl != nil {
+				fl.InvalidateChannel(e.A, e.B)
+			}
+
+		case event.Rebalance:
+			if _, err := net.Rebalance(e.A, e.B); err != nil {
+				return res, fmt.Errorf("sim: churn rebalance: %w", err)
+			}
+
+		case event.DemandShift:
+			if sh, ok := src.(interface{ SetAmountScale(float64) }); ok {
+				sh.SetAmountScale(e.Amount)
+			}
+		}
+	}
+	res.finishLog(&log)
+	return res, nil
+}
+
+// finishLog copies the applied-event log's evidence into the result.
+func (r *DynamicResult) finishLog(l *event.Log) {
+	r.EventCounts = l.Counts()
+	r.Fingerprint = l.Fingerprint()
+	r.Log = l.Events()
+}
+
+// Arrival-process names understood by DynamicScenario.
+const (
+	ArrivalPoisson    = "poisson"
+	ArrivalFlashCrowd = "flash-crowd"
+	ArrivalDiurnal    = "diurnal"
+)
+
+// DynamicScenario describes one dynamic experiment cell: a topology, a
+// time-varying arrival process, a churn model, and the schemes to
+// compare under them.
+type DynamicScenario struct {
+	Name  string // catalogue label (informational)
+	Kind  string // KindRipple, KindLightning or KindTestbed
+	Nodes int
+
+	ScaleFactor  float64
+	MiceFraction float64
+
+	Duration float64 // virtual seconds simulated
+	Window   float64 // time-series bucket (default Duration/10)
+
+	Arrival string  // ArrivalPoisson, ArrivalFlashCrowd or ArrivalDiurnal
+	Rate    float64 // mean payments per virtual second
+	Peak    float64 // flash-crowd rate multiplier / diurnal relative swing
+
+	ChurnRate      float64 // channel open/close events per virtual second
+	RebalanceRate  float64 // rebalance events per virtual second
+	LatentChannels int     // extra channels that may open mid-run
+
+	// DemandShiftFactor, when positive, rescales payment amounts by
+	// this factor at DemandShiftFrac · Duration (a fraction so the
+	// shift tracks Duration overrides; 0 or out-of-range means
+	// mid-run).
+	DemandShiftFactor float64
+	DemandShiftFrac   float64
+
+	// FlashK/FlashM override Flash's path counts when > 0 (FlashMSet
+	// forces FlashM through even at zero), mirroring Scenario.
+	FlashK    int
+	FlashM    int
+	FlashMSet bool
+
+	Schemes []string
+	Workers int
+	Retries int
+	Service float64 // mean virtual service time per payment
+	Seed    int64
+}
+
+// DynamicSchemeResult pairs a scheme with its dynamic-run result.
+type DynamicSchemeResult struct {
+	Scheme string
+	Result DynamicResult
+}
+
+// DynamicScenarioNames lists the scenario catalogue in presentation
+// order.
+var DynamicScenarioNames = []string{"steady", "flash-crowd", "depletion-rebalance", "churn"}
+
+// NamedDynamicScenario returns a catalogue scenario over the given
+// topology:
+//
+//   - "steady": Poisson arrivals at a constant rate — the dynamic
+//     baseline, matching the static replay's load profile.
+//   - "flash-crowd": a 6× arrival surge over the middle fifth of the
+//     run, plus a 2× demand shift while the crowd lasts.
+//   - "depletion-rebalance": steady arrivals at a low capacity scale
+//     (channels deplete) with periodic rebalancing fighting back.
+//   - "churn": diurnal demand drift with channels closing and
+//     (re)opening throughout, including latent channels that first
+//     appear mid-run.
+func NamedDynamicScenario(name, kind string, nodes int) (DynamicScenario, error) {
+	sc := DynamicScenario{
+		Name:         name,
+		Kind:         kind,
+		Nodes:        nodes,
+		ScaleFactor:  10,
+		MiceFraction: 0.9,
+		Duration:     60,
+		Arrival:      ArrivalPoisson,
+		Rate:         20,
+		Schemes:      PaperSchemes,
+		Seed:         1,
+	}
+	switch name {
+	case "steady":
+	case "flash-crowd":
+		sc.Arrival = ArrivalFlashCrowd
+		sc.Rate = 15
+		sc.Peak = 6
+		sc.DemandShiftFactor = 2
+		sc.DemandShiftFrac = 0.4 // the surge start, wherever Duration lands
+	case "depletion-rebalance":
+		sc.ScaleFactor = 2
+		sc.Rate = 25
+		sc.RebalanceRate = 2
+	case "churn":
+		sc.Arrival = ArrivalDiurnal
+		sc.Peak = 0.6
+		sc.ChurnRate = 1
+		sc.RebalanceRate = 0.5
+		sc.LatentChannels = nodes / 10
+	default:
+		return sc, fmt.Errorf("sim: unknown dynamic scenario %q (have %v)", name, DynamicScenarioNames)
+	}
+	return sc, nil
+}
+
+// arrivalProcess builds the scenario's arrival process.
+func (sc DynamicScenario) arrivalProcess() (trace.ArrivalProcess, error) {
+	switch sc.Arrival {
+	case ArrivalPoisson, "":
+		return trace.Poisson{Rate: sc.Rate}, nil
+	case ArrivalFlashCrowd:
+		peak := sc.Peak
+		if peak <= 0 {
+			peak = 6 // 0 is the unset sentinel; explicit ≤1 (no surge) is honoured
+		}
+		return trace.FlashCrowd{
+			BaseRate: sc.Rate,
+			Peak:     peak,
+			Start:    sc.Duration * 0.4,
+			Duration: sc.Duration * 0.2,
+		}, nil
+	case ArrivalDiurnal:
+		swing := sc.Peak
+		if swing <= 0 {
+			swing = 0.6 // unset
+		}
+		if swing >= 1 {
+			swing = 0.95 // the modulated rate must stay positive
+		}
+		return trace.Diurnal{MeanRate: sc.Rate, Swing: swing, Period: sc.Duration / 2}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown arrival process %q", sc.Arrival)
+	}
+}
+
+// RunDynamicScenario executes a dynamic scenario: every scheme replays
+// an identically-seeded workload over an identically-seeded network
+// under the identical churn schedule, so scheme results are directly
+// comparable. The churn schedule, latent channels, arrival times and
+// payment contents are all pure functions of the scenario seed.
+func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
+	if sc.Duration <= 0 {
+		return nil, fmt.Errorf("sim: dynamic scenario needs a positive duration")
+	}
+	if sc.Rate <= 0 {
+		return nil, fmt.Errorf("sim: dynamic scenario needs a positive arrival rate")
+	}
+	if sc.MiceFraction == 0 {
+		sc.MiceFraction = 0.9
+	}
+	if len(sc.Schemes) == 0 {
+		sc.Schemes = PaperSchemes
+	}
+	arr, err := sc.arrivalProcess()
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]DynamicSchemeResult, 0, len(sc.Schemes))
+	for _, scheme := range sc.Schemes {
+		net, err := BuildNetwork(sc.Kind, sc.Nodes, sc.ScaleFactor, 0, 0, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		churnRNG := newChurnRNG(sc.Seed)
+		latent := registerLatentChannels(net, sc.LatentChannels, churnRNG)
+		churn := buildChurnSchedule(sc, net, latent, churnRNG)
+
+		threshold, err := calibrateThreshold(sc, net.Graph())
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workloadFor(sc.Kind, net.Graph(), sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		stream, err := trace.NewStream(gen, arr, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		r, err := NewRouter(scheme, threshold, sc.FlashK, sc.FlashM, sc.FlashMSet, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunDynamic(net, r, stream, sc.Duration, churn, threshold, DynamicOptions{
+			Workers: sc.Workers,
+			Seed:    sc.Seed,
+			Retries: sc.Retries,
+			Window:  sc.Window,
+			Service: sc.Service,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", scheme, err)
+		}
+		results = append(results, DynamicSchemeResult{Scheme: scheme, Result: res})
+	}
+	return results, nil
+}
+
+// calibrateThreshold fixes the elephant threshold from a workload
+// sample drawn with the scenario's own seed: the dynamic stream is
+// lazy, so the threshold is pinned on an identically-seeded throwaway
+// generator (whose sample is, by construction, the prefix of the
+// payments the stream will actually produce).
+func calibrateThreshold(sc DynamicScenario, g *topo.Graph) (float64, error) {
+	n := int(sc.Rate * sc.Duration)
+	if n < 200 {
+		n = 200
+	}
+	if n > 4000 {
+		n = 4000
+	}
+	gen, err := workloadFor(sc.Kind, g, sc.Seed)
+	if err != nil {
+		return 0, err
+	}
+	return core.ThresholdForMiceFraction(trace.Amounts(gen.Generate(n)), sc.MiceFraction), nil
+}
+
+// registerLatentChannels extends the network with count latent (closed,
+// unfunded) channels between uniformly drawn unconnected node pairs —
+// the channels a churn schedule's open events may activate mid-run.
+// Registration happens before any payment flows, which is the safety
+// requirement of pcn.RegisterChannel.
+func registerLatentChannels(net *pcn.Network, count int, rng *rand.Rand) []topo.Edge {
+	g := net.Graph()
+	n := g.NumNodes()
+	var latent []topo.Edge
+	for attempts := 0; len(latent) < count && attempts < 20*count+20; attempts++ {
+		u := topo.NodeID(rng.Intn(n))
+		v := topo.NodeID(rng.Intn(n))
+		if u == v || g.HasChannel(u, v) {
+			continue
+		}
+		if _, err := net.RegisterChannel(u, v); err != nil {
+			continue
+		}
+		latent = append(latent, topo.NewEdge(u, v))
+	}
+	return latent
+}
+
+// buildChurnSchedule draws the scenario's churn events: Poisson
+// open/close toggles over the channel population (latent channels
+// start closed and get funded on first open), Poisson rebalances, and
+// the optional demand shift. The schedule depends only on the RNG and
+// the network's initial funding, so identically-seeded schemes replay
+// identical churn.
+func buildChurnSchedule(sc DynamicScenario, net *pcn.Network, latent []topo.Edge, rng *rand.Rand) []event.Event {
+	var events []event.Event
+	g := net.Graph()
+	baseChannels := g.NumChannels() - len(latent)
+
+	if sc.ChurnRate > 0 && baseChannels > 0 {
+		// Track liveness as the schedule will unfold: base channels start
+		// open, latent ones closed and unfunded.
+		open := make([]topo.Edge, baseChannels)
+		copy(open, g.Channels()[:baseChannels])
+		closed := append([]topo.Edge(nil), latent...)
+		unfunded := make(map[topo.Edge]bool, len(latent))
+		for _, e := range latent {
+			unfunded[e] = true
+		}
+		// Latent channels opened for the first time get the network's
+		// mean per-direction funding.
+		meanDir := 0.0
+		if g.NumChannels() > 0 {
+			meanDir = net.TotalFunds() / float64(2*g.NumChannels())
+		}
+		for t := nextExp(rng, sc.ChurnRate); t < sc.Duration; t += nextExp(rng, sc.ChurnRate) {
+			openOne := len(closed) > 0 && (len(open) <= 1 || rng.Float64() < 0.5)
+			if openOne {
+				i := rng.Intn(len(closed))
+				e := closed[i]
+				closed = append(closed[:i], closed[i+1:]...)
+				open = append(open, e)
+				amount := 0.0
+				if unfunded[e] {
+					amount = meanDir
+					delete(unfunded, e)
+				}
+				events = append(events, event.Event{Time: t, Kind: event.ChannelOpen, A: e.A, B: e.B, Amount: amount})
+			} else {
+				i := rng.Intn(len(open))
+				e := open[i]
+				open = append(open[:i], open[i+1:]...)
+				closed = append(closed, e)
+				events = append(events, event.Event{Time: t, Kind: event.ChannelClose, A: e.A, B: e.B})
+			}
+		}
+	}
+
+	if sc.RebalanceRate > 0 && baseChannels > 0 {
+		chans := g.Channels()[:baseChannels]
+		for t := nextExp(rng, sc.RebalanceRate); t < sc.Duration; t += nextExp(rng, sc.RebalanceRate) {
+			e := chans[rng.Intn(len(chans))]
+			events = append(events, event.Event{Time: t, Kind: event.Rebalance, A: e.A, B: e.B})
+		}
+	}
+
+	if sc.DemandShiftFactor > 0 {
+		frac := sc.DemandShiftFrac
+		if frac <= 0 || frac >= 1 {
+			frac = 0.5
+		}
+		events = append(events, event.Event{Time: sc.Duration * frac, Kind: event.DemandShift, Amount: sc.DemandShiftFactor})
+	}
+	return events
+}
+
+// nextExp draws an exponential inter-event gap for rate events/second.
+func nextExp(rng *rand.Rand, rate float64) float64 {
+	return rng.ExpFloat64() / rate
+}
+
+// newChurnRNG derives the churn-schedule RNG (latent-channel selection
+// and event times) from a scenario seed.
+func newChurnRNG(seed int64) *rand.Rand { return stats.NewRNG(seed, 0xC402) }

@@ -69,6 +69,10 @@ type Scenario struct {
 	// network.
 	Concurrency int
 
+	// Retries re-routes failed payments up to this many extra times
+	// with jittered backoff (sim.Options.Retries).
+	Retries int
+
 	// ParallelSchemes runs the scenario's schemes concurrently, each on
 	// its own identically-seeded network and workload, instead of
 	// restoring one network between schemes. With sequential replay
@@ -246,7 +250,7 @@ func RunScenario(sc Scenario) ([]SchemeResult, error) {
 	for i, s := range sc.Schemes {
 		results[i] = SchemeResult{Scheme: s}
 	}
-	opts := Options{Workers: sc.Concurrency}
+	opts := Options{Workers: sc.Concurrency, Retries: sc.Retries}
 	for run := 0; run < sc.Runs; run++ {
 		runSeed := sc.Seed + int64(run)*7919
 		opts.Seed = runSeed

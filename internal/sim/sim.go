@@ -17,6 +17,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,10 +55,12 @@ type Metrics struct {
 	MiceDelay  time.Duration
 }
 
-// merge folds another shard's counters into m. Every field is an
-// order-independent sum, which is what lets the concurrent replay
-// aggregate per-worker shards without locks on the hot path.
-func (m *Metrics) merge(o Metrics) {
+// Merge folds another shard's counters into m. Every field is an
+// order-independent sum, which is what lets the concurrent replay (and
+// every other harness sharding metrics per worker — the testbed, the
+// dynamic engine's time-series windows) aggregate shards without locks
+// on the hot path.
+func (m *Metrics) Merge(o Metrics) {
 	m.Payments += o.Payments
 	m.Successes += o.Successes
 	m.SuccessVolume += o.SuccessVolume
@@ -150,6 +153,16 @@ type Options struct {
 	// replay starts, using Workers goroutines. Only effective when the
 	// router is *core.Flash; other routers ignore it.
 	Prewarm bool
+
+	// Retries re-routes a payment that failed to deliver up to this
+	// many additional times — the recovery policy for a payment that
+	// aborted because a concurrent hold lost a race. Between attempts
+	// the concurrent replay sleeps a seeded, jittered exponential
+	// backoff (so the competing payments it raced can settle); the
+	// sequential replay retries immediately, where a retry can still
+	// win by drawing a different mice path order. 0 — the default —
+	// preserves the historical single-attempt semantics exactly.
+	Retries int
 }
 
 // Run replays payments sequentially over net using r. miceThreshold
@@ -168,32 +181,76 @@ func RunOpts(net *pcn.Network, r route.Router, payments []trace.Payment, miceThr
 		prewarmRouter(net, r, payments, opts.Workers)
 	}
 	if opts.Workers <= 1 {
-		return runSequential(net, r, payments, miceThreshold)
+		return runSequential(net, r, payments, miceThreshold, opts)
 	}
 	return runConcurrent(net, r, payments, miceThreshold, opts)
 }
 
-// replayOne routes a single payment and accumulates its metrics into m.
-// When seeded, rngSeed is attached to the session as its per-payment
-// random source (built lazily — only routers that draw randomness pay
-// for it). Degenerate payments (self-pay, non-positive amount) are
-// skipped, contributing nothing.
-func replayOne(net *pcn.Network, r route.Router, p trace.Payment, miceThreshold float64, m *Metrics, rngSeed int64, seeded bool) error {
-	if p.Sender == p.Receiver || p.Amount <= 0 {
-		return nil
-	}
-	isMouse := p.Amount <= miceThreshold
+// Record folds one completed payment into m: classification against
+// miceThreshold, delay and message accounting, and — when delivered —
+// the success bookkeeping. It is the single metrics-recording path
+// shared by the sequential replay, the concurrent workers' shards, the
+// dynamic engine's time-series windows, and the TCP testbed harness.
+// probeMsgs/commitMsgs/elapsed cover every routing attempt the payment
+// made (retries included).
+func (m *Metrics) Record(amount, miceThreshold float64, elapsed time.Duration, probeMsgs, commitMsgs int64, fees float64, delivered bool) {
+	isMouse := amount <= miceThreshold
 	m.Payments++
-	m.AttemptVolume += p.Amount
+	m.AttemptVolume += amount
+	m.TotalDelay += elapsed
+	m.ProbeMessages += probeMsgs
+	m.CommitMessages += commitMsgs
 	if isMouse {
 		m.MicePayments++
+		m.MiceDelay += elapsed
+		m.MiceProbeMessages += probeMsgs
 	} else {
 		m.ElephantPayments++
+		m.ElephantProbeMsgs += probeMsgs
 	}
+	if delivered {
+		m.Successes++
+		m.SuccessVolume += amount
+		m.FeesPaid += fees
+		if isMouse {
+			m.MiceSuccesses++
+			m.MiceSuccessVolume += amount
+		} else {
+			m.ElephantSuccesses++
+			m.ElephantSuccessVol += amount
+		}
+	}
+}
 
+// routeOutcome is the accounting of one routing attempt (or, summed,
+// of a payment's whole attempt sequence).
+type routeOutcome struct {
+	elapsed    time.Duration
+	probeMsgs  int64
+	commitMsgs int64
+	fees       float64
+	delivered  bool
+}
+
+// add accumulates a later attempt into o (fees/delivered are taken
+// from the successful attempt; failed attempts pay no fees).
+func (o *routeOutcome) add(a routeOutcome) {
+	o.elapsed += a.elapsed
+	o.probeMsgs += a.probeMsgs
+	o.commitMsgs += a.commitMsgs
+	o.fees += a.fees
+	o.delivered = o.delivered || a.delivered
+}
+
+// routeAttempt runs one routing attempt for p: a fresh session, one
+// Route call, defensive finishing. When seeded, rngSeed becomes the
+// session's per-payment random source. The returned error is an
+// infrastructure failure; routing failures are reported through
+// routeOutcome.delivered.
+func routeAttempt(net *pcn.Network, r route.Router, p trace.Payment, rngSeed int64, seeded bool) (routeOutcome, error) {
 	tx, err := net.Begin(p.Sender, p.Receiver, p.Amount)
 	if err != nil {
-		return fmt.Errorf("sim: payment %d: %w", p.ID, err)
+		return routeOutcome{}, fmt.Errorf("sim: payment %d: %w", p.ID, err)
 	}
 	if seeded {
 		tx.SetRNGSeed(rngSeed)
@@ -205,42 +262,83 @@ func replayOne(net *pcn.Network, r route.Router, p trace.Payment, miceThreshold 
 		// Defensive: a router must finish its session; treat an
 		// unfinished one as failed and release its holds.
 		if aerr := tx.Abort(); aerr != nil {
-			return fmt.Errorf("sim: payment %d left unfinished and unabortable: %w", p.ID, aerr)
+			return routeOutcome{}, fmt.Errorf("sim: payment %d left unfinished and unabortable: %w", p.ID, aerr)
 		}
 		rerr = fmt.Errorf("sim: router %s left session unfinished", r.Name())
 	}
-
-	m.TotalDelay += elapsed
-	m.ProbeMessages += int64(tx.ProbeMessages())
-	m.CommitMessages += int64(tx.CommitMessages())
-	if isMouse {
-		m.MiceDelay += elapsed
-		m.MiceProbeMessages += int64(tx.ProbeMessages())
-	} else {
-		m.ElephantProbeMsgs += int64(tx.ProbeMessages())
+	out := routeOutcome{
+		elapsed:    elapsed,
+		probeMsgs:  int64(tx.ProbeMessages()),
+		commitMsgs: int64(tx.CommitMessages()),
+		delivered:  rerr == nil,
 	}
-	if rerr == nil {
-		m.Successes++
-		m.SuccessVolume += p.Amount
-		m.FeesPaid += tx.FeesPaid()
-		if isMouse {
-			m.MiceSuccesses++
-			m.MiceSuccessVolume += p.Amount
-		} else {
-			m.ElephantSuccesses++
-			m.ElephantSuccessVol += p.Amount
+	if out.delivered {
+		out.fees = tx.FeesPaid()
+	}
+	return out, nil
+}
+
+// retryBackoff is the jittered exponential backoff before retry
+// attempt (1-based): 50µs · 2^(attempt-1), scaled by a random factor
+// in [0.5, 1.5) so racing retriers don't re-collide in lockstep.
+func retryBackoff(attempt int, rng *rand.Rand) time.Duration {
+	base := 50 * time.Microsecond << uint(attempt-1)
+	if base > 5*time.Millisecond {
+		base = 5 * time.Millisecond
+	}
+	return time.Duration(float64(base) * (0.5 + rng.Float64()))
+}
+
+// attemptSeed derives the per-attempt session seed: attempt 0 uses the
+// payment seed unchanged (preserving single-attempt behavior exactly),
+// retries re-mix so a retried mouse draws a fresh path order.
+func attemptSeed(rngSeed int64, attempt int) int64 {
+	if attempt == 0 {
+		return rngSeed
+	}
+	return paymentSeed(rngSeed, int64(attempt))
+}
+
+// replayOne routes a single payment — retrying failed deliveries up to
+// opts.Retries times — and accumulates its metrics into m. Degenerate
+// payments (self-pay, non-positive amount) are skipped, contributing
+// nothing. backoffSleep selects the concurrent replay's real jittered
+// sleep between attempts; the sequential replay retries immediately.
+func replayOne(net *pcn.Network, r route.Router, p trace.Payment, miceThreshold float64, m *Metrics, rngSeed int64, seeded bool, retries int, backoffSleep bool) error {
+	if p.Sender == p.Receiver || p.Amount <= 0 {
+		return nil
+	}
+	var (
+		total      routeOutcome
+		backoffRNG *rand.Rand
+	)
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 && backoffSleep {
+			if backoffRNG == nil {
+				backoffRNG = rand.New(rand.NewSource(paymentSeed(rngSeed, int64(p.ID)^0x5EED)))
+			}
+			time.Sleep(retryBackoff(attempt, backoffRNG))
+		}
+		out, err := routeAttempt(net, r, p, attemptSeed(rngSeed, attempt), seeded)
+		if err != nil {
+			return err
+		}
+		total.add(out)
+		if out.delivered {
+			break
 		}
 	}
+	m.Record(p.Amount, miceThreshold, total.elapsed, total.probeMsgs, total.commitMsgs, total.fees, total.delivered)
 	return nil
 }
 
 // runSequential replays payments one at a time in order, the paper's
 // simulation setup. No per-payment RNG is attached, so routers consume
 // their own seeded generators in the historical sequence.
-func runSequential(net *pcn.Network, r route.Router, payments []trace.Payment, miceThreshold float64) (Metrics, error) {
+func runSequential(net *pcn.Network, r route.Router, payments []trace.Payment, miceThreshold float64, opts Options) (Metrics, error) {
 	var m Metrics
 	for _, p := range payments {
-		if err := replayOne(net, r, p, miceThreshold, &m, 0, false); err != nil {
+		if err := replayOne(net, r, p, miceThreshold, &m, 0, false, opts.Retries, false); err != nil {
 			return m, err
 		}
 	}
@@ -275,14 +373,14 @@ func runConcurrent(net *pcn.Network, r route.Router, payments []trace.Payment, m
 		}
 		p := payments[i]
 		seed := paymentSeed(opts.Seed, int64(p.ID))
-		if err := replayOne(net, r, p, miceThreshold, &shards[worker], seed, true); err != nil {
+		if err := replayOne(net, r, p, miceThreshold, &shards[worker], seed, true, opts.Retries, true); err != nil {
 			errOnce.Do(func() { firstErr = err })
 			failed.Store(true)
 		}
 	})
 	var m Metrics
 	for i := range shards {
-		m.merge(shards[i])
+		m.Merge(shards[i])
 	}
 	return m, firstErr
 }

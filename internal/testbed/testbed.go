@@ -10,9 +10,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/parallel"
 	"repro/internal/pcn"
 	"repro/internal/route"
 	"repro/internal/sim"
@@ -154,39 +157,70 @@ type RouterFactory func(id topo.NodeID) (route.Router, error)
 // the same metrics as the simulator. miceThreshold classifies payments
 // for the mice-delay metric.
 func (c *Cluster) RunWorkload(factory RouterFactory, payments []trace.Payment, miceThreshold float64) (sim.Metrics, error) {
-	routers := make(map[topo.NodeID]route.Router)
-	var m sim.Metrics
-	for _, p := range payments {
-		if p.Sender == p.Receiver || p.Amount <= 0 {
-			continue
+	return c.RunWorkloadOpts(factory, payments, miceThreshold, 1)
+}
+
+// RunWorkloadOpts is RunWorkload with a worker count: workers > 1
+// drains the payment list with a bounded pool of concurrent senders,
+// the same contention model as the simulator's concurrent replay.
+// Metrics accumulate into per-worker shards merged afterwards —
+// exactly the simulator's sharded scheme (sim.Metrics.Record per
+// payment, sim.Metrics.Merge across shards) — so the hot path takes no
+// harness-level locks. Router instances stay per sender (as on the
+// real testbed, where each process routes locally) and are built
+// through factory under a lock on first use.
+func (c *Cluster) RunWorkloadOpts(factory RouterFactory, payments []trace.Payment, miceThreshold float64, workers int) (sim.Metrics, error) {
+	var (
+		routersMu sync.Mutex
+		routers   = make(map[topo.NodeID]route.Router)
+		failed    atomic.Bool
+		errOnce   sync.Once
+		firstErr  error
+	)
+	routerFor := func(sender topo.NodeID) (route.Router, error) {
+		routersMu.Lock()
+		defer routersMu.Unlock()
+		if r, ok := routers[sender]; ok {
+			return r, nil
 		}
-		r, ok := routers[p.Sender]
-		if !ok {
-			var err error
-			r, err = factory(p.Sender)
-			if err != nil {
-				return m, err
-			}
-			routers[p.Sender] = r
+		r, err := factory(sender)
+		if err != nil {
+			return nil, err
+		}
+		routers[sender] = r
+		return r, nil
+	}
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+
+	shards := make([]sim.Metrics, parallel.Clamp(len(payments), workers))
+	parallel.ForEach(len(payments), workers, func(worker, i int) {
+		if failed.Load() {
+			return
+		}
+		p := payments[i]
+		if p.Sender == p.Receiver || p.Amount <= 0 {
+			return
+		}
+		r, err := routerFor(p.Sender)
+		if err != nil {
+			fail(err)
+			return
 		}
 		sess, err := c.nodes[p.Sender].NewSession(p.Receiver, p.Amount)
 		if err != nil {
-			return m, fmt.Errorf("testbed: payment %d: %w", p.ID, err)
-		}
-		isMouse := p.Amount <= miceThreshold
-		m.Payments++
-		m.AttemptVolume += p.Amount
-		if isMouse {
-			m.MicePayments++
-		} else {
-			m.ElephantPayments++
+			fail(fmt.Errorf("testbed: payment %d: %w", p.ID, err))
+			return
 		}
 		start := time.Now()
 		rerr := r.Route(sess)
 		elapsed := time.Since(start)
 		if !sess.Finished() {
 			if aerr := sess.Abort(); aerr != nil {
-				return m, fmt.Errorf("testbed: payment %d unfinished and unabortable: %w", p.ID, aerr)
+				fail(fmt.Errorf("testbed: payment %d unfinished and unabortable: %w", p.ID, aerr))
+				return
 			}
 			rerr = fmt.Errorf("testbed: router left session unfinished")
 		}
@@ -200,27 +234,13 @@ func (c *Cluster) RunWorkload(factory RouterFactory, payments []trace.Payment, m
 		if processing < 0 {
 			processing = 0
 		}
-		m.TotalDelay += processing
-		m.ProbeMessages += int64(sess.ProbeMessages())
-		m.CommitMessages += int64(sess.CommitMessages())
-		if isMouse {
-			m.MiceDelay += processing
-			m.MiceProbeMessages += int64(sess.ProbeMessages())
-		} else {
-			m.ElephantProbeMsgs += int64(sess.ProbeMessages())
-		}
-		if rerr == nil {
-			m.Successes++
-			m.SuccessVolume += p.Amount
-			m.FeesPaid += sess.FeesPaid()
-			if isMouse {
-				m.MiceSuccesses++
-				m.MiceSuccessVolume += p.Amount
-			} else {
-				m.ElephantSuccesses++
-				m.ElephantSuccessVol += p.Amount
-			}
-		}
+		shards[worker].Record(p.Amount, miceThreshold, processing,
+			int64(sess.ProbeMessages()), int64(sess.CommitMessages()), sess.FeesPaid(), rerr == nil)
+	})
+
+	var m sim.Metrics
+	for i := range shards {
+		m.Merge(shards[i])
 	}
-	return m, nil
+	return m, firstErr
 }

@@ -140,6 +140,10 @@ type Generator struct {
 	receivers map[topo.NodeID][]topo.NodeID // per-sender known receivers
 	component []int                         // component ID per node (when Graph set)
 	next      int
+
+	// amountScale multiplies sampled payment amounts; 1 by default. The
+	// dynamic simulator's demand-shift events move it mid-stream.
+	amountScale float64
 }
 
 // NewGenerator validates cfg and builds a generator.
@@ -164,10 +168,11 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		cfg.SenderZipf = 1.0
 	}
 	g := &Generator{
-		cfg:       cfg,
-		rng:       stats.NewRNG(cfg.Seed, 0xF1A54),
-		senders:   stats.NewZipf(cfg.Nodes, cfg.SenderZipf),
-		receivers: make(map[topo.NodeID][]topo.NodeID),
+		cfg:         cfg,
+		rng:         stats.NewRNG(cfg.Seed, 0xF1A54),
+		senders:     stats.NewZipf(cfg.Nodes, cfg.SenderZipf),
+		receivers:   make(map[topo.NodeID][]topo.NodeID),
+		amountScale: 1,
 	}
 	if cfg.Graph != nil {
 		g.component = componentIDs(cfg.Graph)
@@ -202,15 +207,28 @@ func (g *Generator) connected(a, b topo.NodeID) bool {
 	return g.component[a] == g.component[b]
 }
 
+// SetAmountScale multiplies all subsequently sampled payment amounts
+// by factor — the demand-shift knob of the dynamic simulator. Factors
+// ≤ 0 are ignored. The default scale of 1 leaves amounts untouched.
+func (g *Generator) SetAmountScale(factor float64) {
+	if factor > 0 {
+		g.amountScale = factor
+	}
+}
+
 // Next produces the next payment in the stream.
 func (g *Generator) Next() Payment {
 	sender := g.pickSender()
 	receiver := g.pickReceiver(sender)
+	amount := g.cfg.Sizes.Sample(g.rng)
+	if g.amountScale != 1 {
+		amount *= g.amountScale
+	}
 	p := Payment{
 		ID:       g.next,
 		Sender:   sender,
 		Receiver: receiver,
-		Amount:   g.cfg.Sizes.Sample(g.rng),
+		Amount:   amount,
 		Time:     float64(g.next) / float64(g.cfg.PaymentsPerDay),
 	}
 	g.next++
