@@ -232,38 +232,45 @@ func BenchmarkSimConcurrency(b *testing.B) {
 // arrivals with light churn over a 200-node Ripple-like network,
 // routed by ShortestPath so the event machinery — heap, virtual clock,
 // lazy stream, churn application, window accounting — dominates over
-// routing cost. This is the trajectory benchmark for the dynamic
-// subsystem; run with -benchtime=1x for a smoke reading.
+// routing cost. The service=0 cells run the atomic-at-dispatch path;
+// the service>0 cells run the hold-span split (suspended sessions,
+// Resume at the commit event) with thousands of overlapping holds, so
+// their delta is the price of deterministic contention. This is the
+// trajectory benchmark for the dynamic subsystem; run with
+// -benchtime=1x for a smoke reading.
 func BenchmarkDynamicEngine(b *testing.B) {
 	for _, payments := range []int{10000, 100000} {
-		b.Run(fmt.Sprintf("payments=%d", payments), func(b *testing.B) {
-			const rate = 1000 // arrivals per virtual second
-			sc := flash.DynamicScenario{
-				Name:          "bench",
-				Kind:          "ripple",
-				Nodes:         200,
-				ScaleFactor:   10,
-				Duration:      float64(payments) / rate,
-				Rate:          rate,
-				ChurnRate:     1,
-				RebalanceRate: 1,
-				Schemes:       []string{flash.SchemeShortestPath},
-				Seed:          1,
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			totalEvents := 0
-			for i := 0; i < b.N; i++ {
-				results, err := flash.RunDynamicScenario(sc)
-				if err != nil {
-					b.Fatal(err)
+		for _, service := range []float64{0, 0.05} {
+			b.Run(fmt.Sprintf("payments=%d/service=%v", payments, service), func(b *testing.B) {
+				const rate = 1000 // arrivals per virtual second
+				sc := flash.DynamicScenario{
+					Name:          "bench",
+					Kind:          "ripple",
+					Nodes:         200,
+					ScaleFactor:   10,
+					Duration:      float64(payments) / rate,
+					Rate:          rate,
+					ChurnRate:     1,
+					RebalanceRate: 1,
+					Service:       service,
+					Schemes:       []string{flash.SchemeShortestPath},
+					Seed:          1,
 				}
-				for _, c := range results[0].Result.EventCounts {
-					totalEvents += c
+				b.ReportAllocs()
+				b.ResetTimer()
+				totalEvents := 0
+				for i := 0; i < b.N; i++ {
+					results, err := flash.RunDynamicScenario(sc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, c := range results[0].Result.EventCounts {
+						totalEvents += c
+					}
 				}
-			}
-			b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/sec")
-		})
+				b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/sec")
+			})
+		}
 	}
 }
 

@@ -10,7 +10,14 @@
 // clock, churn events open/close/rebalance channels mid-run, and the
 // output includes a per-window time series. Dynamic runs with
 // -workers 1 (the default) are fully deterministic: the same seed
-// prints the same bytes, fingerprint included.
+// prints the same bytes, fingerprint included — with or without hold
+// spans.
+//
+// -service enables hold spans: each payment locks its funds for an
+// exponential virtual service time between the routing decision and
+// the commit, so concurrent arrivals contend for channel balance
+// deterministically (see ARCHITECTURE.md). -service 0 (the default)
+// keeps the historical atomic-at-dispatch behaviour.
 //
 // Examples:
 //
@@ -21,6 +28,8 @@
 //	flashsim -dynamic -arrival poisson -rate 20 -duration 60
 //	flashsim -scenario churn -nodes 200 -seed 42      # catalogue churn scenario
 //	flashsim -scenario flash-crowd -duration 120 -window 10
+//	flashsim -scenario contention -retries 2          # hold-span contention on the barbell
+//	flashsim -scenario hub-failure -seed 7            # top-degree node fails mid-run
 package main
 
 import (
@@ -63,7 +72,7 @@ func main() {
 		rebalance = flag.Float64("rebalance", 0, "channel rebalance events per virtual second")
 		latent    = flag.Int("latent", 0, "latent channels that may open mid-run")
 		peak      = flag.Float64("peak", 0, "flash-crowd rate multiplier / diurnal swing (0 = per-process default)")
-		service   = flag.Float64("service", 0, "mean virtual service time per payment in seconds")
+		service   = flag.Float64("service", 0, "mean virtual service time per payment in seconds; > 0 enables hold spans (funds stay locked until the commit event)")
 	)
 	flag.Parse()
 
@@ -180,9 +189,11 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 	if set["scale"] {
 		sc.ScaleFactor = scale
 	}
+	if set["service"] || sc.Service == 0 {
+		sc.Service = service // a preset's hold-span default survives unless overridden
+	}
 	sc.MiceFraction = mice
 	sc.Window = window
-	sc.Service = service
 	sc.Schemes = schemes
 	sc.Workers = workers
 	sc.Retries = retries
@@ -199,8 +210,8 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 		os.Exit(1)
 	}
 
-	fmt.Printf("# dynamic scenario=%s kind=%s nodes=%d scale=%g arrival=%s rate=%g/s duration=%gs churn=%g/s rebalance=%g/s latent=%d seed=%d workers=%d retries=%d\n",
-		sc.Name, sc.Kind, sc.Nodes, sc.ScaleFactor, sc.Arrival, sc.Rate, sc.Duration,
+	fmt.Printf("# dynamic scenario=%s kind=%s nodes=%d scale=%g arrival=%s rate=%g/s duration=%gs service=%gs churn=%g/s rebalance=%g/s latent=%d seed=%d workers=%d retries=%d\n",
+		sc.Name, sc.Kind, sc.Nodes, sc.ScaleFactor, sc.Arrival, sc.Rate, sc.Duration, sc.Service,
 		sc.ChurnRate, sc.RebalanceRate, sc.LatentChannels, sc.Seed, sc.Workers, sc.Retries)
 	for _, r := range results {
 		res := r.Result
@@ -217,9 +228,9 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 			agg.Payments, 100*agg.SuccessRatio(), agg.SuccessVolume, agg.ProbeMessages)
 		w.Flush()
 		c := res.EventCounts
-		fmt.Printf("events: %d arrivals (%d completions), %d open, %d close, %d rebalance, %d demand-shift; fingerprint %016x\n",
+		fmt.Printf("events: %d arrivals (%d completions), %d open, %d close, %d rebalance, %d demand-shift; span aborts %d; fingerprint %016x\n",
 			c[event.PaymentArrival], c[event.PaymentComplete], c[event.ChannelOpen],
-			c[event.ChannelClose], c[event.Rebalance], c[event.DemandShift], res.Fingerprint)
+			c[event.ChannelClose], c[event.Rebalance], c[event.DemandShift], res.SpanAborts, res.Fingerprint)
 	}
 }
 

@@ -106,6 +106,15 @@
 //     Options.Retries in the static replay, -retries on flashsim)
 //     retries with seeded jittered backoff — virtual in the event
 //     loop, real micro-sleeps in the concurrent replay.
+//   - Hold spans (DynamicOptions.Service > 0) make contention
+//     deterministic: each payment splits into a hold-phase event at
+//     arrival (the router decides, but the session suspends on the
+//     route.Yielder seam with its funds locked) and a commit-phase
+//     event one exponential virtual service time later. Arrivals in
+//     between probe the depleted residuals and may fail because of
+//     them; a suspended payment whose channel churns away mid-span
+//     aborts HTLC-timeout style (DynamicResult.SpanAborts). Service =
+//     0 preserves the atomic-at-dispatch behaviour byte-for-byte.
 //
 // Time model and determinism: events are totally ordered by (virtual
 // time, scheduling sequence); all randomness — arrival times, service
@@ -122,12 +131,14 @@
 // (the zero-churn equivalence test).
 //
 // A scenario catalogue (NamedDynamicScenario: "steady", "flash-crowd",
-// "depletion-rebalance", "churn") drives comparable cells across
-// schemes; cmd/flashsim exposes it via -dynamic/-scenario/-arrival/
-// -rate/-duration/-churn/-retries, and internal/exp prints the
-// dynamic-scenario table alongside the paper's figures.
+// "depletion-rebalance", "churn", "contention", "hub-failure") drives
+// comparable cells across schemes; cmd/flashsim exposes it via
+// -dynamic/-scenario/-arrival/-rate/-duration/-churn/-service/
+// -retries, and internal/exp prints the dynamic-scenario table
+// alongside the paper's figures.
 //
-// See the examples directory for runnable programs, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for the paper-versus-measured
-// record of every figure.
+// See the examples directory for runnable programs, ARCHITECTURE.md
+// for the layer stack, concurrency models, determinism guarantees and
+// the hold-span state machine, and README.md for the scenario
+// catalogue with reproduction commands.
 package flash

@@ -42,6 +42,10 @@ type (
 type (
 	// Session is a payment in flight: probe, hold, commit/abort.
 	Session = route.Session
+	// Yielder is the hold-span seam: sessions whose commit can be
+	// suspended across virtual time and resumed later (pcn.Tx
+	// implements it; the dynamic engine drives it).
+	Yielder = route.Yielder
 	// Router is any routing algorithm driving Sessions.
 	Router = route.Router
 	// Flash is the paper's router (elephant/mice differentiation).
@@ -124,7 +128,8 @@ const (
 )
 
 // DynamicScenarioNames lists the built-in dynamic scenario catalogue
-// (steady, flash-crowd, depletion-rebalance, churn).
+// (steady, flash-crowd, depletion-rebalance, churn, contention,
+// hub-failure).
 var DynamicScenarioNames = sim.DynamicScenarioNames
 
 // NewPaymentStream lazily pairs a trace generator with an arrival

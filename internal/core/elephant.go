@@ -146,10 +146,19 @@ func (f *Flash) routeElephant(s route.Session) error {
 		alloc = f.optimizeAllocation(plan, s.Demand())
 	}
 
-	// Hold each positive allocation. HoldUpTo re-probes on rejection, so
-	// small discrepancies (e.g. LP offsets across shared channels, whose
-	// reverse-direction credit only materialises at commit time) degrade
-	// gracefully instead of failing outright.
+	// Hold each positive allocation, strictly in discovery order — the
+	// LP-aware order. The fee LP may allocate flow to a path that
+	// crosses a channel in reverse of an earlier path (an offset): such
+	// an allocation is only feasible against the reverse-direction
+	// credit the earlier path's flow creates, and Algorithm 1's residual
+	// update guarantees the creditor is always discovered first. Holding
+	// (and therefore committing — pcn applies holds in placement order)
+	// creators before consumers lets the session's self-offset credit
+	// (pcn.Tx.Hold) reserve the full allocation; reordering these holds
+	// would make offset allocations fail at the hold phase even though
+	// the atomic commit is sound. HoldUpTo re-probes on rejection, so
+	// residual discrepancies still degrade gracefully instead of
+	// failing outright.
 	remaining := s.Demand()
 	for i, amount := range alloc {
 		if amount <= route.Epsilon || remaining <= route.Epsilon {

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pcn"
+	"repro/internal/topo"
+)
+
+// TestElephantOffsetHoldRegression is the deterministic distillation of
+// the flaky TestAlgorithm1MatchesMaxFlowProperty corner (ROADMAP: "LP
+// offset holds"): a demand exactly equal to the max flow whose second
+// augmenting path must cross a channel in *reverse* of the first
+// path's flow. The allocation then relies on reverse-direction credit
+// that only materialises at commit time; before the self-offset hold
+// credit (pcn.Tx.Hold) plus the LP-aware (discovery-order) holds in
+// routeElephant, the second hold was rejected, the top-up could not
+// recover, and the payment aborted despite being feasible.
+//
+// The network (every directed balance 1 forwards, 0 backwards):
+//
+//	s ── a ── b ── t        BFS finds s→a→b→t first (3 hops),
+//	│    │    │             saturating a→b and b→t.
+//	c ───┘    │             The only remaining augmenting path is
+//	a ── d ── t             s→c→b→a→d→t, crossing b→a on the residual
+//	                        credit of the first path's a→b flow.
+func TestElephantOffsetHoldRegression(t *testing.T) {
+	const (
+		s, a, b, tt, c, d = 0, 1, 2, 3, 4, 5
+	)
+	g := topo.New(6)
+	// Insertion order fixes the BFS tie-break: a is discovered before
+	// c, so the first path goes through a→b.
+	g.MustAddChannel(s, a)
+	g.MustAddChannel(a, b)
+	g.MustAddChannel(b, tt)
+	g.MustAddChannel(s, c)
+	g.MustAddChannel(c, b)
+	g.MustAddChannel(a, d)
+	g.MustAddChannel(d, tt)
+	net := pcn.New(g)
+	// Fund exactly one unit in each "forward" direction (SetBalance is
+	// direction-explicit; the channel's canonical endpoint order does
+	// not matter here).
+	for _, hop := range [][2]topo.NodeID{{s, a}, {a, b}, {b, tt}, {s, c}, {c, b}, {a, d}, {d, tt}} {
+		if err := net.SetBalance(hop[0], hop[1], 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg := DefaultConfig(0) // threshold 0: everything is an elephant
+	cfg.K = 8
+	f := New(cfg)
+
+	// Demand 2 = max flow: 1 unit down each side, with the second unit
+	// cancelling the first's a→b flow at the shared channel.
+	tx, err := net.Begin(s, tt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Route(tx); err != nil {
+		t.Fatalf("max-flow demand with offset allocation aborted: %v", err)
+	}
+	if !tx.Finished() {
+		t.Fatal("session left unfinished")
+	}
+	if got := tx.PathsUsed(); got != 2 {
+		t.Errorf("paths used = %d, want 2", got)
+	}
+	// The two units left the source and arrived at the sink.
+	for _, hop := range [][2]topo.NodeID{{s, a}, {s, c}} {
+		if got := net.Balance(hop[0], hop[1]); math.Abs(got-0) > 1e-9 {
+			t.Errorf("bal(%d→%d) = %v, want 0", hop[0], hop[1], got)
+		}
+	}
+	for _, hop := range [][2]topo.NodeID{{tt, b}, {tt, d}} {
+		if got := net.Balance(hop[0], hop[1]); math.Abs(got-1) > 1e-9 {
+			t.Errorf("bal(%d→%d) = %v, want 1", hop[0], hop[1], got)
+		}
+	}
+	// The contested a–b channel nets out: 1 forward, 1 cancelled back.
+	if fwd, rev := net.Balance(a, b), net.Balance(b, a); math.Abs(fwd-1) > 1e-9 || math.Abs(rev) > 1e-9 {
+		t.Errorf("contested channel = (%v, %v), want (1, 0)", fwd, rev)
+	}
+}

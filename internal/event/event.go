@@ -118,8 +118,9 @@ func (e Event) before(o Event) bool {
 	return e.Seq < o.Seq
 }
 
-// Queue is a min-heap of events ordered by (Time, Seq). The zero value
-// is unusable; call NewQueue.
+// Queue is a min-heap of events ordered by (Time, Seq). The zero
+// value is an empty, ready-to-use queue; NewQueue exists for
+// call-site readability.
 type Queue struct {
 	h   eventHeap
 	seq uint64

@@ -15,6 +15,7 @@ var (
 	ErrInsufficient = errors.New("pcn: insufficient balance on path")
 	ErrFinished     = errors.New("pcn: session already committed or aborted")
 	ErrBadPath      = errors.New("pcn: invalid path")
+	ErrNotSuspended = errors.New("pcn: session is not suspended")
 )
 
 // Tx is one payment session: the sender's handle for probing paths,
@@ -27,6 +28,27 @@ var (
 // one Commit or Abort. Any number of Tx values may run concurrently
 // over one Network: each operation locks only the channels it touches,
 // in ascending channel-index order (see the package comment).
+//
+// # Hold-span state machine
+//
+// By default Commit settles immediately. DeferCommit arms the
+// hold-span seam used by the dynamic simulator to let a payment's
+// reservations persist across virtual time:
+//
+//	active ──Hold──▶ active ──Commit──▶ suspended ──Resume──▶ committed
+//	   │                │                    │                (funds move)
+//	   │                └──Abort──▶ aborted  └──Resume──▶ aborted
+//	   │                        (holds released)    (a held channel closed
+//	   └──Abort──▶ aborted                           mid-span: HTLC-style
+//	                                                 timeout, holds released)
+//
+// While suspended the session is Finished from the router's point of
+// view (the routing decision is made, exactly one Commit was called)
+// but its funds are still locked on the network: other payments probe
+// and hold against the depleted residuals until Resume settles the
+// span. Resume may be called from a different goroutine than the one
+// that ran the session, provided the handoff happens-before (the
+// dynamic engine passes suspended sessions through a channel).
 type Tx struct {
 	net      *Network
 	sender   topo.NodeID
@@ -37,8 +59,10 @@ type Tx struct {
 	rngSeed   int64
 	rngSeeded bool
 
-	holds    []holdRecord
-	finished bool
+	holds       []holdRecord
+	finished    bool
+	deferCommit bool
+	suspended   bool
 
 	probeMsgs  int
 	commitMsgs int
@@ -245,9 +269,21 @@ func (t *Tx) Hold(path []topo.NodeID, amount float64) error {
 	defer t.net.unlockChannels(order)
 	// Phase 1a: feasibility check. A closed channel rejects like a
 	// depleted one — routers already handle the capacity-failure path.
+	// A hop short on free balance may still be covered by the session's
+	// own earlier holds on the reverse direction (self-offset credit):
+	// Commit applies holds in placement order, so by the time this hop's
+	// reservation settles, the session's prior reverse-direction holds
+	// have already moved their funds onto this side. This is what makes
+	// the fee LP's offset allocations (paths crossing a shared channel
+	// in opposite directions) holdable at all — the credit they rely on
+	// is otherwise only materialised at commit time.
 	for _, h := range hops {
 		ch := &t.net.chans[h.idx]
-		if ch.closed || ch.bal[h.dir]-ch.held[h.dir] < amount-balanceEpsilon {
+		if ch.closed {
+			return ErrInsufficient
+		}
+		if avail := ch.bal[h.dir] - ch.held[h.dir]; avail < amount-balanceEpsilon &&
+			avail+t.ownHeld(h.idx, 1-h.dir) < amount-balanceEpsilon {
 			return ErrInsufficient
 		}
 	}
@@ -266,6 +302,22 @@ func (t *Tx) Hold(path []topo.NodeID, amount float64) error {
 // balanceEpsilon absorbs float64 rounding when a hold asks for exactly
 // the probed balance.
 const balanceEpsilon = 1e-9
+
+// ownHeld sums the session's active holds on channel idx in direction
+// d — the self-offset credit a later hold on the opposite direction
+// may draw against. Sessions hold at most a handful of paths, so the
+// scan is cheap and only runs when the plain feasibility check fails.
+func (t *Tx) ownHeld(idx, d int) float64 {
+	total := 0.0
+	for _, h := range t.holds {
+		for _, ph := range h.hops {
+			if ph.idx == idx && ph.dir == d {
+				total += h.amount
+			}
+		}
+	}
+	return total
+}
 
 // HeldTotal returns the amount currently reserved by this session
 // across all its partial payments.
@@ -301,6 +353,10 @@ func (t *Tx) holdLockOrder() []int {
 // observers see either none or all of the payment's transfers. Fees for
 // every hop are accounted in FeesPaid. Commit with nothing held is an
 // error.
+//
+// After DeferCommit, Commit instead records the decision and leaves
+// the session suspended with its funds still locked; Resume settles
+// the span later. See the hold-span state machine on Tx.
 func (t *Tx) Commit() error {
 	if t.finished {
 		return ErrFinished
@@ -308,9 +364,25 @@ func (t *Tx) Commit() error {
 	if len(t.holds) == 0 {
 		return errors.New("pcn: nothing held to commit")
 	}
+	if t.deferCommit {
+		t.suspended = true
+		t.finished = true // the routing decision is made; only Resume may follow
+		return nil
+	}
 	order := t.holdLockOrder()
 	t.net.lockChannels(order)
 	defer t.net.unlockChannels(order)
+	t.applyCommitLocked()
+	t.finished = true
+	return nil
+}
+
+// applyCommitLocked moves every held amount and accounts the CONFIRM
+// messages and fees. Callers must hold the locks of holdLockOrder().
+// Holds are applied strictly in placement order: a hold that drew
+// self-offset credit from an earlier reverse-direction hold (see Hold)
+// is only sound because its creditor settles first.
+func (t *Tx) applyCommitLocked() {
 	for _, h := range t.holds {
 		hops := len(h.path) - 1
 		t.net.commitMessages.Add(int64(2 * hops)) // CONFIRM + CONFIRM_ACK
@@ -329,8 +401,6 @@ func (t *Tx) Commit() error {
 			t.feesPaid += ch.fee[d].Fee(h.amount)
 		}
 	}
-	t.finished = true
-	return nil
 }
 
 // Abort releases all holds without moving any balance — the prototype's
@@ -342,6 +412,14 @@ func (t *Tx) Abort() error {
 	order := t.holdLockOrder()
 	t.net.lockChannels(order)
 	defer t.net.unlockChannels(order)
+	t.releaseHoldsLocked()
+	t.finished = true
+	return nil
+}
+
+// releaseHoldsLocked returns every reservation and accounts the
+// REVERSE messages. Callers must hold the locks of holdLockOrder().
+func (t *Tx) releaseHoldsLocked() {
 	for _, h := range t.holds {
 		hops := len(h.path) - 1
 		t.net.commitMessages.Add(int64(2 * hops)) // REVERSE + REVERSE_ACK
@@ -351,8 +429,43 @@ func (t *Tx) Abort() error {
 			ch.held[ph.dir] = clampDust(ch.held[ph.dir] - h.amount)
 		}
 	}
-	t.finished = true
-	return nil
+}
+
+// DeferCommit arms the hold-span seam (route.Yielder): the next Commit
+// suspends the session — funds stay locked on the network — instead of
+// settling, and Resume finishes the job later. Abort is unaffected:
+// a failed payment releases its holds immediately.
+func (t *Tx) DeferCommit() { t.deferCommit = true }
+
+// Suspended reports whether the session sits between a deferred Commit
+// and its Resume, with funds still locked on the network.
+func (t *Tx) Suspended() bool { return t.suspended }
+
+// Resume settles a suspended session: if every held channel is still
+// open the deferred commit applies (funds move, CONFIRM messages and
+// fees are accounted) and Resume returns true; if any held channel was
+// closed during the span the whole payment aborts HTLC-timeout style —
+// every hold is released, REVERSE messages are accounted — and Resume
+// returns false. Calling Resume on a session that is not suspended
+// returns ErrNotSuspended.
+func (t *Tx) Resume() (bool, error) {
+	if !t.suspended {
+		return false, ErrNotSuspended
+	}
+	t.suspended = false
+	order := t.holdLockOrder()
+	t.net.lockChannels(order)
+	defer t.net.unlockChannels(order)
+	for _, h := range t.holds {
+		for _, ph := range h.hops {
+			if t.net.chans[ph.idx].closed {
+				t.releaseHoldsLocked()
+				return false, nil
+			}
+		}
+	}
+	t.applyCommitLocked()
+	return true, nil
 }
 
 // clampDust zeroes float64 residue left by add/subtract round-off so a

@@ -66,6 +66,38 @@ type Session interface {
 // Compile-time check: the in-memory transaction implements Session.
 var _ Session = (*pcn.Tx)(nil)
 
+// Yielder is the hold-span seam: it is optionally implemented by
+// Sessions whose commit can be suspended across (virtual) time. After
+// DeferCommit, the session's Commit records the decision and yields
+// instead of settling — the payment's holds stay locked on the
+// network, depleting the residuals every other payment probes — and
+// Resume later applies the deferred commit (returning true) or, when a
+// held channel closed during the span, aborts the whole payment
+// HTLC-timeout style (returning false).
+//
+// Routers never call Resume; they drive the session to Commit/Abort
+// exactly as always and need not know whether the seam is armed. The
+// harness that armed DeferCommit (the dynamic simulator's hold-span
+// mode) owns the Resume call, typically one virtual service time after
+// the routing decision. Between Commit and Resume the session counts
+// as finished for the Session contract — exactly one of Commit/Abort
+// was called — and only Resume may touch it.
+type Yielder interface {
+	// DeferCommit arms the seam: the next Commit suspends instead of
+	// settling.
+	DeferCommit()
+	// Suspended reports whether the session sits between a deferred
+	// Commit and its Resume.
+	Suspended() bool
+	// Resume settles the span: commit if every held channel survived,
+	// abort otherwise. The error reports misuse (resuming a session
+	// that is not suspended), not routing failure.
+	Resume() (committed bool, err error)
+}
+
+// Compile-time check: the in-memory transaction supports hold spans.
+var _ Yielder = (*pcn.Tx)(nil)
+
 // RandSource is optionally implemented by Sessions that carry a
 // deterministic per-payment random source. Routers that make random
 // choices (e.g. Flash's random mice path order, §3.3) should prefer it

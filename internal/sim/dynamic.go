@@ -41,8 +41,26 @@ type DynamicOptions struct {
 
 	// Service is the mean virtual service time of a payment in seconds
 	// (exponentially distributed, seeded). 0 completes payments at
-	// their arrival instant. Service times model delivery latency:
-	// routing itself executes atomically at dispatch.
+	// their arrival instant, routing atomically at dispatch — the
+	// historical behaviour, byte-identical across engine versions.
+	//
+	// Service > 0 enables hold spans: a payment splits into a
+	// hold-phase event at dispatch (the router probes, holds and
+	// *decides* to commit, but the session suspends on the route.Yielder
+	// seam) and a commit-phase event one exponential service time
+	// later, when the suspended session resumes — committing, or
+	// aborting HTLC-timeout style if churn closed a held channel
+	// mid-span. Between the two events the payment's funds stay locked
+	// on the network, so later arrivals probe the depleted residuals:
+	// with Workers ≤ 1 this models contention *deterministically*,
+	// which is why the single station never queues arrivals in this
+	// mode (routing is instantaneous in virtual time; residency on the
+	// network is modelled by the holds, not by station occupancy).
+	// Consistently, an attempt that fails at the hold phase locks
+	// nothing and completes at its arrival instant — its retry clock
+	// starts immediately. (With Workers > 1 the completion event is
+	// scheduled before the goroutine's outcome is known, so failures
+	// there surface after the service time, like any station model.)
 	Service float64
 
 	// RecordLog retains the full applied-event log in the result (the
@@ -66,6 +84,11 @@ type DynamicResult struct {
 	Fingerprint uint64        // FNV-1a over the applied-event log
 	Log         []event.Event // populated when DynamicOptions.RecordLog
 	Horizon     float64
+
+	// SpanAborts counts suspended payments whose deferred commit turned
+	// into an abort because a held channel closed mid-span (hold-span
+	// mode only; see DynamicOptions.Service).
+	SpanAborts int
 }
 
 // WindowRatios renders the per-window success ratios (for quick
@@ -90,6 +113,7 @@ type dynPayment struct {
 
 type routeResult struct {
 	out routeOutcome
+	tx  *pcn.Tx // suspended session awaiting Resume (hold-span mode), else nil
 	err error
 }
 
@@ -110,6 +134,14 @@ type routeResult struct {
 // With Workers ≤ 1, Service = 0 and arrivals pinned to an existing
 // trace (trace.NewReplayStream), the aggregate metrics reproduce
 // RunOpts' sequential replay exactly — the equivalence the tests pin.
+//
+// With Service > 0 payments hold funds across virtual time (hold
+// spans, see DynamicOptions.Service): the routing decision still
+// executes at the arrival instant, but the commit settles one service
+// time later, and every payment arriving in between contends with the
+// outstanding holds. Workers ≤ 1 stays fully deterministic — same
+// seed, same fingerprint — because all routing decisions run inline on
+// the event loop in (Time, Seq) order.
 func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horizon float64, churn []event.Event, miceThreshold float64, opts DynamicOptions) (DynamicResult, error) {
 	if horizon <= 0 {
 		return DynamicResult{}, fmt.Errorf("sim: dynamic horizon must be positive, got %v", horizon)
@@ -129,6 +161,11 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 	var clock event.Clock
 	log := event.Log{Retain: opts.RecordLog}
 	seeded := workers > 1
+	// spans: Service > 0 splits payments into hold-phase and
+	// commit-phase events with funds locked in between (see
+	// DynamicOptions.Service). Service = 0 keeps the atomic-at-dispatch
+	// path, bit-identical to the pre-hold-span engine.
+	spans := opts.Service > 0
 
 	// Schedule randomness (service times, retry backoffs) is its own
 	// seeded stream, independent of routing, so event timestamps do not
@@ -176,22 +213,39 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 	// dispatch puts dp in service at virtual time t: the routing attempt
 	// runs now (inline for the deterministic single station, on a
 	// goroutine when stations may overlap), and the completion is
-	// scheduled after the drawn virtual service time.
+	// scheduled after the drawn virtual service time. In hold-span mode
+	// the attempt stops at the yield seam — holds placed, commit
+	// deferred — and the completion event settles the span.
 	dispatch := func(dp *dynPayment, t float64) {
 		busy++
 		service := 0.0
 		if opts.Service > 0 {
+			// Drawn unconditionally, so the schedule stream's consumption
+			// never depends on routing outcomes.
 			service = schedRNG.ExpFloat64() * opts.Service
 		}
 		seed := attemptSeed(paymentSeed(opts.Seed, int64(dp.p.ID)), dp.attempt)
+		attempt := func(p trace.Payment) routeResult {
+			if spans {
+				tx, out, err := holdAttempt(net, r, p, seed, seeded)
+				return routeResult{out: out, tx: tx, err: err}
+			}
+			out, err := routeAttempt(net, r, p, seed, seeded)
+			return routeResult{out: out, err: err}
+		}
 		if workers == 1 {
-			out, err := routeAttempt(net, r, dp.p, seed, seeded)
-			dp.inline = routeResult{out: out, err: err}
+			dp.inline = attempt(dp.p)
+			if spans && dp.inline.tx == nil {
+				// The attempt failed at the hold phase: nothing is locked,
+				// so the payment completes — and its retry clock starts —
+				// at its arrival instant. Only suspended payments occupy a
+				// service span (residency is the holds, not the station).
+				service = 0
+			}
 		} else {
 			dp.done = make(chan routeResult, 1)
 			go func(p trace.Payment, done chan routeResult) {
-				out, err := routeAttempt(net, r, p, seed, seeded)
-				done <- routeResult{out: out, err: err}
+				done <- attempt(p)
 			}(dp.p, dp.done)
 		}
 		queue.Schedule(event.Event{
@@ -222,7 +276,13 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 			}
 			dp := pending[e.ID]
 			dp.attempt = e.Attempt
-			if busy < workers {
+			// With hold spans the deterministic single station never
+			// queues: routing is instantaneous in virtual time, and a
+			// payment's residency on the network is modelled by its
+			// locked holds, not by station occupancy — every arrival
+			// must probe the network exactly as it stands at its own
+			// arrival instant, in-flight holds included.
+			if busy < workers || (spans && workers == 1) {
 				dispatch(dp, e.Time)
 			} else {
 				waitQ = append(waitQ, e.ID)
@@ -236,6 +296,25 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 				dp.done = nil
 			}
 			busy--
+			if result.err == nil && result.tx != nil {
+				// Settle the hold span: the deferred commit applies now —
+				// or aborts, if churn closed a held channel mid-span. The
+				// CONFIRM/REVERSE messages and any fees land here, so the
+				// accounting is re-read from the session.
+				committed, rerr := result.tx.Resume()
+				if rerr != nil {
+					result.err = rerr
+				} else {
+					result.out.delivered = committed
+					result.out.commitMsgs = int64(result.tx.CommitMessages())
+					result.out.fees = 0
+					if committed {
+						result.out.fees = result.tx.FeesPaid()
+					} else {
+						res.SpanAborts++
+					}
+				}
+			}
 			if result.err != nil {
 				res.finishLog(&log)
 				return res, result.err
@@ -323,6 +402,22 @@ type DynamicScenario struct {
 	Kind  string // KindRipple, KindLightning or KindTestbed
 	Nodes int
 
+	// Fixture, when non-empty, replaces the Kind topology and workload
+	// with a synthetic fixture. FixtureBarbell is the BuildContention
+	// barbell: every payment crosses one bridge channel, alternating
+	// direction, so committed flow nets out and failures are
+	// attributable to in-flight holds — the contention scenario.
+	Fixture       string
+	SpokeBalance  float64 // barbell spoke per-direction balance
+	BridgeBalance float64 // barbell bridge per-direction balance
+	FixtureAmount float64 // fixed payment amount on fixture workloads
+
+	// HubFailureFrac, when positive, closes every channel of the
+	// highest-degree node at this fraction of Duration — the targeted
+	// hub-failure scenario. In-flight holds crossing the hub abort when
+	// their spans resume (DynamicResult.SpanAborts counts them).
+	HubFailureFrac float64
+
 	ScaleFactor  float64
 	MiceFraction float64
 
@@ -363,9 +458,13 @@ type DynamicSchemeResult struct {
 	Result DynamicResult
 }
 
+// FixtureBarbell selects the BuildContention barbell topology and its
+// cross-bridge workload in DynamicScenario.Fixture.
+const FixtureBarbell = "barbell"
+
 // DynamicScenarioNames lists the scenario catalogue in presentation
 // order.
-var DynamicScenarioNames = []string{"steady", "flash-crowd", "depletion-rebalance", "churn"}
+var DynamicScenarioNames = []string{"steady", "flash-crowd", "depletion-rebalance", "churn", "contention", "hub-failure"}
 
 // NamedDynamicScenario returns a catalogue scenario over the given
 // topology:
@@ -379,6 +478,14 @@ var DynamicScenarioNames = []string{"steady", "flash-crowd", "depletion-rebalanc
 //   - "churn": diurnal demand drift with channels closing and
 //     (re)opening throughout, including latent channels that first
 //     appear mid-run.
+//   - "contention": the barbell fixture under Poisson arrivals with
+//     hold spans — payments lock the one bridge channel for their
+//     service time, so the success rate degrades while holds pile up
+//     and recovers as they drain. Only meaningful with Service > 0.
+//   - "hub-failure": hold spans plus a targeted failure — every
+//     channel of the top-degree node closes mid-run; payments
+//     suspended across the failure abort, and the success rate drops
+//     with the hub gone.
 func NamedDynamicScenario(name, kind string, nodes int) (DynamicScenario, error) {
 	sc := DynamicScenario{
 		Name:         name,
@@ -410,6 +517,17 @@ func NamedDynamicScenario(name, kind string, nodes int) (DynamicScenario, error)
 		sc.ChurnRate = 1
 		sc.RebalanceRate = 0.5
 		sc.LatentChannels = nodes / 10
+	case "contention":
+		sc.Fixture = FixtureBarbell
+		sc.Rate = 6
+		sc.Service = 2 // mean hold span: ~12 payments in flight at once
+		sc.SpokeBalance = 1e6
+		sc.BridgeBalance = 80 // ~8 concurrent holds per direction fit
+		sc.FixtureAmount = 10
+	case "hub-failure":
+		sc.Rate = 25
+		sc.Service = 1.5
+		sc.HubFailureFrac = 0.5
 	default:
 		return sc, fmt.Errorf("sim: unknown dynamic scenario %q (have %v)", name, DynamicScenarioNames)
 	}
@@ -471,25 +589,44 @@ func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
 
 	results := make([]DynamicSchemeResult, 0, len(sc.Schemes))
 	for _, scheme := range sc.Schemes {
-		net, err := BuildNetwork(sc.Kind, sc.Nodes, sc.ScaleFactor, 0, 0, sc.Seed)
-		if err != nil {
-			return nil, err
-		}
-		churnRNG := newChurnRNG(sc.Seed)
-		latent := registerLatentChannels(net, sc.LatentChannels, churnRNG)
-		churn := buildChurnSchedule(sc, net, latent, churnRNG)
+		var (
+			net       *pcn.Network
+			stream    trace.PaymentSource
+			threshold float64
+			churn     []event.Event
+		)
+		switch sc.Fixture {
+		case "":
+			n, err := BuildNetwork(sc.Kind, sc.Nodes, sc.ScaleFactor, 0, 0, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			net = n
+			churnRNG := newChurnRNG(sc.Seed)
+			latent := registerLatentChannels(net, sc.LatentChannels, churnRNG)
+			churn = buildChurnSchedule(sc, net, latent, churnRNG)
 
-		threshold, err := calibrateThreshold(sc, net.Graph())
-		if err != nil {
-			return nil, err
-		}
-		gen, err := workloadFor(sc.Kind, net.Graph(), sc.Seed)
-		if err != nil {
-			return nil, err
-		}
-		stream, err := trace.NewStream(gen, arr, sc.Seed)
-		if err != nil {
-			return nil, err
+			threshold, err = calibrateThreshold(sc, net.Graph())
+			if err != nil {
+				return nil, err
+			}
+			gen, err := workloadFor(sc.Kind, net.Graph(), sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			stream, err = trace.NewStream(gen, arr, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+		case FixtureBarbell:
+			var err error
+			net, stream, threshold, err = buildBarbellCell(sc, arr)
+			if err != nil {
+				return nil, err
+			}
+			churn = buildChurnSchedule(sc, net, nil, newChurnRNG(sc.Seed))
+		default:
+			return nil, fmt.Errorf("sim: unknown dynamic fixture %q", sc.Fixture)
 		}
 		r, err := NewRouter(scheme, threshold, sc.FlashK, sc.FlashM, sc.FlashMSet, sc.Seed)
 		if err != nil {
@@ -528,6 +665,71 @@ func calibrateThreshold(sc DynamicScenario, g *topo.Graph) (float64, error) {
 		return 0, err
 	}
 	return core.ThresholdForMiceFraction(trace.Amounts(gen.Generate(n)), sc.MiceFraction), nil
+}
+
+// buildBarbellCell constructs the contention fixture's network and
+// workload: a BuildContention barbell (spoke count derived from
+// sc.Nodes, zero-value balances and amount falling back to the
+// catalogue defaults) and a lazy cross-bridge payment stream under the
+// scenario's arrival process. The elephant threshold equals the fixed
+// payment amount, so every payment classifies as a mouse — the
+// scenario isolates hold contention, not size differentiation.
+func buildBarbellCell(sc DynamicScenario, arr trace.ArrivalProcess) (*pcn.Network, trace.PaymentSource, float64, error) {
+	spokes := (sc.Nodes - 2) / 2
+	if spokes < 2 {
+		spokes = 2
+	}
+	spokeBal, bridgeBal, amount := sc.SpokeBalance, sc.BridgeBalance, sc.FixtureAmount
+	if spokeBal <= 0 {
+		spokeBal = 1e6
+	}
+	if bridgeBal <= 0 {
+		bridgeBal = 80
+	}
+	if amount <= 0 {
+		amount = 10
+	}
+	net, _, err := BuildContention(spokes, spokeBal, bridgeBal, amount)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	stream := &barbellStream{
+		spokes: spokes,
+		amount: amount,
+		arr:    arr,
+		rng:    stats.NewRNG(sc.Seed, 0xBA2B),
+	}
+	return net, stream, amount, nil
+}
+
+// barbellStream feeds the barbell fixture's cross-bridge payments
+// under an arrival process: round-robin spoke pairs, alternating
+// direction every payment so committed flow nets out over the bridge
+// and failures are attributable to in-flight holds, not depletion.
+// Like trace.Stream it never exhausts; the horizon bounds the run.
+type barbellStream struct {
+	spokes int
+	amount float64
+	arr    trace.ArrivalProcess
+	rng    *rand.Rand
+	now    float64
+	next   int
+}
+
+// Next implements trace.PaymentSource.
+func (b *barbellStream) Next() (trace.Payment, float64, bool) {
+	b.now = b.arr.NextAfter(b.rng, b.now)
+	i := b.next
+	b.next++
+	left := topo.NodeID(i % b.spokes)
+	right := topo.NodeID(b.spokes + 2 + (i/b.spokes)%b.spokes)
+	p := trace.Payment{ID: i, Amount: b.amount, Time: b.now / trace.SecondsPerDay}
+	if i%2 == 0 {
+		p.Sender, p.Receiver = left, right
+	} else {
+		p.Sender, p.Receiver = right, left
+	}
+	return p, b.now, true
 }
 
 // registerLatentChannels extends the network with count latent (closed,
@@ -618,7 +820,32 @@ func buildChurnSchedule(sc DynamicScenario, net *pcn.Network, latent []topo.Edge
 		}
 		events = append(events, event.Event{Time: sc.Duration * frac, Kind: event.DemandShift, Amount: sc.DemandShiftFactor})
 	}
+
+	// Targeted hub failure: close every channel of the top-degree node
+	// at the configured instant. Consumes no randomness, so enabling it
+	// never perturbs the Poisson churn draws above.
+	if sc.HubFailureFrac > 0 && sc.HubFailureFrac < 1 {
+		hub := topDegreeNode(g)
+		at := sc.Duration * sc.HubFailureFrac
+		for _, e := range g.Channels() {
+			if e.A == hub || e.B == hub {
+				events = append(events, event.Event{Time: at, Kind: event.ChannelClose, A: e.A, B: e.B})
+			}
+		}
+	}
 	return events
+}
+
+// topDegreeNode returns the node with the most channels (lowest ID on
+// ties — deterministic).
+func topDegreeNode(g *topo.Graph) topo.NodeID {
+	best := topo.NodeID(0)
+	for u := 1; u < g.NumNodes(); u++ {
+		if g.Degree(topo.NodeID(u)) > g.Degree(best) {
+			best = topo.NodeID(u)
+		}
+	}
+	return best
 }
 
 // nextExp draws an exponential inter-event gap for rate events/second.

@@ -248,12 +248,26 @@ func (o *routeOutcome) add(a routeOutcome) {
 // infrastructure failure; routing failures are reported through
 // routeOutcome.delivered.
 func routeAttempt(net *pcn.Network, r route.Router, p trace.Payment, rngSeed int64, seeded bool) (routeOutcome, error) {
+	_, out, err := attemptPayment(net, r, p, rngSeed, seeded, false)
+	return out, err
+}
+
+// attemptPayment is the single attempt protocol behind routeAttempt
+// and holdAttempt: Begin, optional per-payment RNG, optional
+// DeferCommit, one Route call, defensive finishing, outcome
+// accounting. A session that suspended on the yield seam is returned
+// for the caller to Resume; otherwise the returned session is nil and
+// the outcome is final.
+func attemptPayment(net *pcn.Network, r route.Router, p trace.Payment, rngSeed int64, seeded, deferCommit bool) (*pcn.Tx, routeOutcome, error) {
 	tx, err := net.Begin(p.Sender, p.Receiver, p.Amount)
 	if err != nil {
-		return routeOutcome{}, fmt.Errorf("sim: payment %d: %w", p.ID, err)
+		return nil, routeOutcome{}, fmt.Errorf("sim: payment %d: %w", p.ID, err)
 	}
 	if seeded {
 		tx.SetRNGSeed(rngSeed)
+	}
+	if deferCommit {
+		tx.DeferCommit()
 	}
 	start := time.Now()
 	rerr := r.Route(tx)
@@ -262,7 +276,7 @@ func routeAttempt(net *pcn.Network, r route.Router, p trace.Payment, rngSeed int
 		// Defensive: a router must finish its session; treat an
 		// unfinished one as failed and release its holds.
 		if aerr := tx.Abort(); aerr != nil {
-			return routeOutcome{}, fmt.Errorf("sim: payment %d left unfinished and unabortable: %w", p.ID, aerr)
+			return nil, routeOutcome{}, fmt.Errorf("sim: payment %d left unfinished and unabortable: %w", p.ID, aerr)
 		}
 		rerr = fmt.Errorf("sim: router %s left session unfinished", r.Name())
 	}
@@ -272,10 +286,27 @@ func routeAttempt(net *pcn.Network, r route.Router, p trace.Payment, rngSeed int
 		commitMsgs: int64(tx.CommitMessages()),
 		delivered:  rerr == nil,
 	}
+	if tx.Suspended() {
+		// Delivery, CONFIRM/REVERSE messages and fees settle at Resume.
+		return tx, out, nil
+	}
 	if out.delivered {
 		out.fees = tx.FeesPaid()
 	}
-	return out, nil
+	return nil, out, nil
+}
+
+// holdAttempt is routeAttempt with the commit deferred across the
+// hold-span seam (route.Yielder): the router runs to its commit/abort
+// decision as usual, but a committed payment's funds stay locked — the
+// suspended session is returned to the caller, who settles it later
+// via Resume (one virtual service time later, in the dynamic engine).
+// Aborted payments resolve immediately and return a nil session, like
+// routeAttempt. For a suspended session the outcome's delivered flag
+// and fee/commit-message accounting are provisional: Resume decides
+// delivery and adds the CONFIRM (or REVERSE) costs.
+func holdAttempt(net *pcn.Network, r route.Router, p trace.Payment, rngSeed int64, seeded bool) (*pcn.Tx, routeOutcome, error) {
+	return attemptPayment(net, r, p, rngSeed, seeded, true)
 }
 
 // retryBackoff is the jittered exponential backoff before retry

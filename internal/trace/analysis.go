@@ -19,7 +19,9 @@ type SizeStats struct {
 	TotalVolume float64
 }
 
-// AnalyzeSizes computes SizeStats for a trace.
+// AnalyzeSizes computes SizeStats for a trace — the numbers
+// cmd/tracegen checks against the paper's published Ripple/Bitcoin
+// statistics to validate the synthetic generator.
 func AnalyzeSizes(ps []Payment) SizeStats {
 	c := SizeCDF(ps)
 	total := 0.0
