@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkParallelProbe/workers=1         	      20	  13893679 ns/op	       863.7 probes/sec	   64796 B/op	     386 allocs/op
+BenchmarkParallelProbe/workers=4         	      20	   3711226 ns/op	      3234 probes/sec	   71136 B/op	     527 allocs/op
+BenchmarkDynamicEngine/payments=10000/service=0-4 	       1	  45000000 ns/op	    250000 events/sec
+PASS
+ok  	repro	0.526s
+`
+
+// TestConvert parses a representative bench transcript and checks the
+// JSON carries every metric pair, the run context, and echoes the
+// non-benchmark lines.
+func TestConvert(t *testing.T) {
+	var out, echo bytes.Buffer
+	if err := convert(strings.NewReader(sample), &out, &echo); err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(out.Bytes(), &r); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(r.Benchmarks))
+	}
+	first := r.Benchmarks[0]
+	if first.Name != "BenchmarkParallelProbe/workers=1" || first.Iterations != 20 {
+		t.Errorf("first = %+v", first)
+	}
+	if first.Metrics["ns/op"] != 13893679 || first.Metrics["probes/sec"] != 863.7 {
+		t.Errorf("first metrics = %v", first.Metrics)
+	}
+	if r.Benchmarks[2].Metrics["events/sec"] != 250000 {
+		t.Errorf("custom metric lost: %v", r.Benchmarks[2].Metrics)
+	}
+	if r.Context["goos"] != "linux" || !strings.Contains(r.Context["cpu"], "Xeon") {
+		t.Errorf("context = %v", r.Context)
+	}
+	for _, want := range []string{"PASS", "ok  \trepro"} {
+		if !strings.Contains(echo.String(), want) {
+			t.Errorf("echo stream missing %q", want)
+		}
+	}
+}
+
+// TestParseLineRejectsNoise pins that prose lines and malformed rows
+// never become benchmarks.
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"", "PASS", "ok  \trepro\t0.5s",
+		"Benchmark without numbers",
+		"BenchmarkX notanumber ns/op",
+		"-- some table row --",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -24,10 +24,11 @@ func main() {
 		full    = flag.Bool("full", false, "paper-scale parameters (slower)")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		workers = flag.Int("workers", 0, "goroutines for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
+		probeW  = flag.Int("probeworkers", 1, "Flash per-session probe pool: probe N speculative elephant candidate paths concurrently (1 = sequential Algorithm 1)")
 	)
 	flag.Parse()
 
-	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout, Workers: *workers}
+	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout, Workers: *workers, ProbeWorkers: *probeW}
 	runners := map[string]func(exp.Options) error{
 		"3":         exp.Fig3,
 		"4":         exp.Fig4,

@@ -61,6 +61,7 @@ func main() {
 		workers  = flag.Int("workers", 1, "concurrent payment workers per scheme replay (1 = sequential/deterministic, 0 = GOMAXPROCS)")
 		parallel = flag.Bool("parallelschemes", false, "run the schemes of each repetition concurrently on identically-seeded networks")
 		retries  = flag.Int("retries", 0, "re-route failed payments up to N extra times with jittered backoff")
+		probeW   = flag.Int("probeworkers", 1, "Flash per-session probe pool: probe N speculative elephant candidate paths concurrently (1 = sequential Algorithm 1)")
 
 		dynamic   = flag.Bool("dynamic", false, "discrete-event dynamic mode: virtual time, arrival process, churn")
 		scenario  = flag.String("scenario", "", "dynamic scenario preset: "+strings.Join(sim.DynamicScenarioNames, ", "))
@@ -84,7 +85,7 @@ func main() {
 	if *dynamic || *scenario != "" {
 		runDynamic(*scenario, *kind, *nodes, *scale, *mice, splitList(*schemes), *seed, conc, *retries,
 			*arrival, *rate, *duration, *window, *churn, *rebalance, *latent, *peak, *service,
-			*flashK, *flashM)
+			*flashK, *flashM, *probeW)
 		return
 	}
 
@@ -103,6 +104,7 @@ func main() {
 		Concurrency:     conc,
 		ParallelSchemes: *parallel,
 		Retries:         *retries,
+		ProbeWorkers:    *probeW,
 	}
 	if *flashM >= 0 {
 		sc.FlashM = *flashM
@@ -115,8 +117,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("# kind=%s nodes=%d txns=%d scale=%g mice=%.0f%% runs=%d seed=%d workers=%d retries=%d\n",
-		sc.Kind, sc.Nodes, sc.Txns, sc.ScaleFactor, 100*sc.MiceFraction, sc.Runs, sc.Seed, sc.Concurrency, sc.Retries)
+	fmt.Printf("# kind=%s nodes=%d txns=%d scale=%g mice=%.0f%% runs=%d seed=%d workers=%d retries=%d probeworkers=%d\n",
+		sc.Kind, sc.Nodes, sc.Txns, sc.ScaleFactor, 100*sc.MiceFraction, sc.Runs, sc.Seed, sc.Concurrency, sc.Retries, sc.ProbeWorkers)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheme\tsucc.ratio\tsucc.volume\tprobe msgs\tfee ratio\tmean delay")
 	for _, r := range results {
@@ -137,7 +139,7 @@ func main() {
 // identical bytes (workers ≤ 1).
 func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes []string,
 	seed int64, workers, retries int, arrival string, rate, duration, window,
-	churn, rebalance float64, latent int, peak, service float64, flashK, flashM int) {
+	churn, rebalance float64, latent int, peak, service float64, flashK, flashM, probeWorkers int) {
 
 	var (
 		sc  sim.DynamicScenario
@@ -197,6 +199,7 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 	sc.Schemes = schemes
 	sc.Workers = workers
 	sc.Retries = retries
+	sc.ProbeWorkers = probeWorkers
 	sc.Seed = seed
 	sc.FlashK = flashK
 	if flashM >= 0 {
@@ -210,9 +213,9 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 		os.Exit(1)
 	}
 
-	fmt.Printf("# dynamic scenario=%s kind=%s nodes=%d scale=%g arrival=%s rate=%g/s duration=%gs service=%gs churn=%g/s rebalance=%g/s latent=%d seed=%d workers=%d retries=%d\n",
+	fmt.Printf("# dynamic scenario=%s kind=%s nodes=%d scale=%g arrival=%s rate=%g/s duration=%gs service=%gs churn=%g/s rebalance=%g/s latent=%d seed=%d workers=%d retries=%d probeworkers=%d\n",
 		sc.Name, sc.Kind, sc.Nodes, sc.ScaleFactor, sc.Arrival, sc.Rate, sc.Duration, sc.Service,
-		sc.ChurnRate, sc.RebalanceRate, sc.LatentChannels, sc.Seed, sc.Workers, sc.Retries)
+		sc.ChurnRate, sc.RebalanceRate, sc.LatentChannels, sc.Seed, sc.Workers, sc.Retries, sc.ProbeWorkers)
 	for _, r := range results {
 		res := r.Result
 		fmt.Printf("== %s ==\n", r.Scheme)

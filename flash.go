@@ -46,6 +46,10 @@ type (
 	// suspended across virtual time and resumed later (pcn.Tx
 	// implements it; the dynamic engine drives it).
 	Yielder = route.Yielder
+	// ParallelProber marks sessions whose Probe is safe for concurrent
+	// calls within one session (pcn.Tx implements it; Flash's
+	// speculative probe pipeline — Config.ProbeWorkers — requires it).
+	ParallelProber = route.ParallelProber
 	// Router is any routing algorithm driving Sessions.
 	Router = route.Router
 	// Flash is the paper's router (elephant/mice differentiation).

@@ -59,8 +59,8 @@ func TestShortestPathFailsWithoutDetour(t *testing.T) {
 	// Both paths are 2 hops; BFS visits neighbour 1 first, so path via 1
 	// is chosen and fails.
 	_, err := pay(t, NewShortestPath(), net, 0, 3, 50)
-	if !errors.Is(err, route.ErrInsufficent) {
-		t.Fatalf("err = %v, want ErrInsufficent", err)
+	if !errors.Is(err, route.ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
 	}
 	if net.Balance(0, 2) != 100 {
 		t.Error("failed SP payment moved balances")
@@ -195,8 +195,8 @@ func TestSpiderSharedBottleneckUnderperforms(t *testing.T) {
 	// Edge-disjoint set can carry at most 30 (via 1) + 20 (via 4) = 50;
 	// demand 55 must fail for Spider even though max-flow is 60+20=80.
 	_, err := pay(t, NewSpider(4), net, 0, 5, 55)
-	if !errors.Is(err, route.ErrInsufficent) {
-		t.Fatalf("err = %v, want ErrInsufficent (edge-disjoint limitation)", err)
+	if !errors.Is(err, route.ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient (edge-disjoint limitation)", err)
 	}
 }
 
@@ -236,8 +236,8 @@ func TestSpeedyMurmursFailsOnDepletion(t *testing.T) {
 	})
 	sm := NewSpeedyMurmurs(3)
 	_, err := pay(t, sm, net, 0, 3, 30)
-	if !errors.Is(err, route.ErrInsufficent) {
-		t.Fatalf("err = %v, want ErrInsufficent", err)
+	if !errors.Is(err, route.ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
 	}
 	if net.Balance(0, 1) != 100 {
 		t.Error("failed payment moved balances")
@@ -293,8 +293,8 @@ func TestMaxFlowFullProbeDelivers(t *testing.T) {
 func TestMaxFlowFullProbeFails(t *testing.T) {
 	net := build(t, 3, [][4]float64{{0, 1, 10, 0}, {1, 2, 10, 0}})
 	_, err := pay(t, NewMaxFlowFullProbe(), net, 0, 2, 100)
-	if !errors.Is(err, route.ErrInsufficent) {
-		t.Fatalf("err = %v, want ErrInsufficent", err)
+	if !errors.Is(err, route.ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
 	}
 }
 

@@ -41,7 +41,7 @@ func (m *MaxFlowFullProbe) Route(s route.Session) error {
 		if err := s.Abort(); err != nil {
 			return err
 		}
-		return route.ErrInsufficent
+		return route.ErrInsufficient
 	}
 	// Sequentially place the per-path discovery flows (net-flow safe
 	// because MaxFlow already respected capacities; HoldUpTo recovers
@@ -67,7 +67,7 @@ func (m *MaxFlowFullProbe) Route(s route.Session) error {
 			remaining -= route.HoldUpTo(s, p, remaining)
 		}
 	}
-	return route.Finish(s, route.ErrInsufficent)
+	return route.Finish(s, route.ErrInsufficient)
 }
 
 // pathFlowOn estimates how much of the final flow travels path p: the

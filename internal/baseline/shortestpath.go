@@ -43,7 +43,7 @@ func (sp *ShortestPath) Route(s route.Session) error {
 		if aerr := s.Abort(); aerr != nil {
 			return aerr
 		}
-		return route.ErrInsufficent
+		return route.ErrInsufficient
 	}
 	return s.Commit()
 }

@@ -124,7 +124,7 @@ func (sm *SpeedyMurmurs) Route(s route.Session) error {
 			if err := s.Abort(); err != nil {
 				return err
 			}
-			return route.ErrInsufficent
+			return route.ErrInsufficient
 		}
 		paths = append(paths, p)
 	}
@@ -134,10 +134,10 @@ func (sm *SpeedyMurmurs) Route(s route.Session) error {
 			if aerr := s.Abort(); aerr != nil {
 				return aerr
 			}
-			return route.ErrInsufficent
+			return route.ErrInsufficient
 		}
 	}
-	return route.Finish(s, route.ErrInsufficent)
+	return route.Finish(s, route.ErrInsufficient)
 }
 
 // greedyPath forwards hop by hop in tree i: from the current node, move

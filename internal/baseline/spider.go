@@ -100,7 +100,7 @@ func (sp *Spider) Route(s route.Session) error {
 		if err := s.Abort(); err != nil {
 			return err
 		}
-		return route.ErrInsufficent
+		return route.ErrInsufficient
 	}
 	remaining := s.Demand()
 	for i, amount := range alloc {
@@ -113,7 +113,7 @@ func (sp *Spider) Route(s route.Session) error {
 		held := route.HoldUpTo(s, paths[i], amount)
 		remaining -= held
 	}
-	return route.Finish(s, route.ErrInsufficent)
+	return route.Finish(s, route.ErrInsufficient)
 }
 
 // Waterfill splits demand across paths with the given capacities so

@@ -23,6 +23,13 @@
 // counters are atomics. The only shared mutable hot state is the
 // router's RNG (used for the mice path order), which sessions bypass
 // entirely when they carry a per-payment RNG (route.RandSource).
+//
+// With Config.ProbeWorkers > 1, elephant routing additionally runs a
+// bounded probe pool *inside* each session — concurrency within one
+// payment rather than across payments — speculatively probing several
+// candidate paths per round and merging the results deterministically
+// (see probe_pipeline.go). The pool only engages on sessions that
+// advertise route.ParallelProber; everything else probes sequentially.
 package core
 
 import (
@@ -80,6 +87,23 @@ type Config struct {
 	// (the paper's timeout mechanism, §3.3). 0 disables eviction.
 	TableTTL int
 
+	// ProbeWorkers bounds the per-session probe pool of elephant
+	// routing. Algorithm 1 as printed probes its candidate paths one at
+	// a time, making elephant latency k sequential network round trips;
+	// with ProbeWorkers > 1 the router instead speculates — each round
+	// it computes up to ProbeWorkers distinct candidate shortest paths
+	// on its current knowledge graph (BFS plus Yen-style edge-avoidance
+	// spurs), probes them concurrently, and merges the results in
+	// candidate-index order exactly as if they had been probed one at a
+	// time (surplus probed knowledge is kept for later rounds, so
+	// speculation is never wasted). ≤ 1 — the default — takes the
+	// untouched sequential path, byte-identical to the original
+	// algorithm; any fixed value replays deterministically for a fixed
+	// seed. Sessions that do not advertise route.ParallelProber (the
+	// TCP testbed) always probe sequentially regardless of this
+	// setting.
+	ProbeWorkers int
+
 	// Seed makes the router's random choices reproducible.
 	Seed int64
 }
@@ -118,13 +142,17 @@ type Flash struct {
 }
 
 // New returns a Flash router with the given configuration. Invalid
-// values are normalised: K < 1 becomes 1, M < 0 becomes 0.
+// values are normalised: K < 1 becomes 1, M < 0 becomes 0,
+// ProbeWorkers < 1 becomes 1 (sequential probing).
 func New(cfg Config) *Flash {
 	if cfg.K < 1 {
 		cfg.K = 1
 	}
 	if cfg.M < 0 {
 		cfg.M = 0
+	}
+	if cfg.ProbeWorkers < 1 {
+		cfg.ProbeWorkers = 1
 	}
 	return &Flash{
 		cfg:    cfg,

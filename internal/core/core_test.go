@@ -103,8 +103,8 @@ func TestElephantInsufficientCapacityAborts(t *testing.T) {
 	total := net.TotalFunds()
 	f := New(DefaultConfig(0))
 	tx, err := pay(t, f, net, 0, 2, 100)
-	if !errors.Is(err, route.ErrInsufficent) {
-		t.Fatalf("err = %v, want ErrInsufficent", err)
+	if !errors.Is(err, route.ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
 	}
 	if !tx.Finished() {
 		t.Error("failed session left unfinished")

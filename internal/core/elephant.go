@@ -56,11 +56,74 @@ type elephantPlan struct {
 	flow      float64 // total max-flow found = sum of pathFlows
 }
 
+// record stores the first-probe capacities and fees of a probed path
+// (Algorithm 1 lines 17–22). Probing a hop reveals both directions of
+// its channel: each on-path node knows the balance on both sides of
+// its adjacent channels.
+func (ps *probedState) record(p []topo.NodeID, info []pcn.HopInfo) {
+	for i, e := range graph.PathEdges(p) {
+		if !ps.known(e) {
+			ps.capacity[e] = info[i].Available
+			ps.residual[e] = info[i].Available
+			ps.fees[e] = info[i].Fee
+		}
+		rev := e.Reverse()
+		if !ps.known(rev) {
+			ps.capacity[rev] = info[i].ReverseAvailable
+			ps.residual[rev] = info[i].ReverseAvailable
+			ps.fees[rev] = info[i].ReverseFee
+		}
+	}
+}
+
+// bottleneck is the minimum residual along p (Algorithm 1 line 12),
+// clamped at zero.
+func (ps *probedState) bottleneck(p []topo.NodeID) float64 {
+	c := math.Inf(1)
+	for _, e := range graph.PathEdges(p) {
+		if r := ps.residual[e]; r < c {
+			c = r
+		}
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// accept adds p to the plan with flow c and, when c is positive,
+// applies the residual update (lines 23–24): reduce along the path,
+// credit the reverse direction.
+//
+// "It is thus possible, though rare ... that our algorithm finds a
+// path but its effective capacity is zero after probing." Such a path
+// still consumes one of the k iterations (line 10 adds p to P before
+// probing), but contributes no flow.
+func (plan *elephantPlan) accept(p []topo.NodeID, c float64) {
+	plan.paths = append(plan.paths, p)
+	plan.pathFlows = append(plan.pathFlows, c)
+	if c > 0 {
+		for _, e := range graph.PathEdges(p) {
+			plan.state.residual[e] -= c
+			plan.state.residual[e.Reverse()] += c
+		}
+		plan.flow += c
+	}
+}
+
 // findElephantPaths is the paper's Algorithm 1 (modified Edmonds–Karp):
 // up to k BFS-shortest paths on the residual knowledge graph, probing
 // each discovered path to learn true capacities, stopping early once the
 // accumulated flow covers the demand.
+//
+// With Config.ProbeWorkers > 1 — and a session that supports it — the
+// per-path probes run on a speculative concurrent pipeline instead of
+// one at a time (see probe_pipeline.go); ProbeWorkers ≤ 1 takes the
+// sequential loop below, unchanged from the original algorithm.
 func (f *Flash) findElephantPaths(s route.Session, k int) *elephantPlan {
+	if w := f.probePoolSize(s); w > 1 {
+		return f.findElephantPathsPipelined(s, k, w)
+	}
 	ps := newProbedState()
 	plan := &elephantPlan{state: ps}
 	g := s.Graph()
@@ -75,48 +138,8 @@ func (f *Flash) findElephantPaths(s route.Session, k int) *elephantPlan {
 		if err != nil {
 			break
 		}
-		// Record first-probe capacities and fees (Algorithm 1 lines
-		// 17–22). Probing a hop reveals both directions of its channel:
-		// each on-path node knows the balance on both sides of its
-		// adjacent channels.
-		for i, e := range graph.PathEdges(p) {
-			if !ps.known(e) {
-				ps.capacity[e] = info[i].Available
-				ps.residual[e] = info[i].Available
-				ps.fees[e] = info[i].Fee
-			}
-			rev := e.Reverse()
-			if !ps.known(rev) {
-				ps.capacity[rev] = info[i].ReverseAvailable
-				ps.residual[rev] = info[i].ReverseAvailable
-				ps.fees[rev] = info[i].ReverseFee
-			}
-		}
-		// Bottleneck over the residual matrix (line 12).
-		c := math.Inf(1)
-		for _, e := range graph.PathEdges(p) {
-			if r := ps.residual[e]; r < c {
-				c = r
-			}
-		}
-		if c < 0 {
-			c = 0
-		}
-		// "It is thus possible, though rare ... that our algorithm finds
-		// a path but its effective capacity is zero after probing." Such
-		// a path still consumes one of the k iterations (line 10 adds p
-		// to P before probing), but contributes no flow.
-		plan.paths = append(plan.paths, p)
-		plan.pathFlows = append(plan.pathFlows, c)
-		if c > 0 {
-			// Residual update (lines 23–24): reduce along the path,
-			// credit the reverse direction.
-			for _, e := range graph.PathEdges(p) {
-				ps.residual[e] -= c
-				ps.residual[e.Reverse()] += c
-			}
-			plan.flow += c
-		}
+		ps.record(p, info)
+		plan.accept(p, ps.bottleneck(p))
 		if !f.cfg.ProbeAllK && plan.flow >= demand-route.Epsilon {
 			return plan
 		}
@@ -136,7 +159,7 @@ func (f *Flash) routeElephant(s route.Session) error {
 		if err := s.Abort(); err != nil {
 			return err
 		}
-		return route.ErrInsufficent
+		return route.ErrInsufficient
 	}
 
 	var alloc []float64
@@ -181,7 +204,7 @@ func (f *Flash) routeElephant(s route.Session) error {
 			remaining -= held
 		}
 	}
-	return route.Finish(s, route.ErrInsufficent)
+	return route.Finish(s, route.ErrInsufficient)
 }
 
 // sequentialAllocation fills paths in discovery order with the flow each

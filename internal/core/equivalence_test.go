@@ -90,5 +90,5 @@ func (f *Flash) routeWithPlan(s route.Session, plan *elephantPlan) error {
 			remaining -= route.HoldUpTo(s, p, remaining)
 		}
 	}
-	return route.Finish(s, route.ErrInsufficent)
+	return route.Finish(s, route.ErrInsufficient)
 }

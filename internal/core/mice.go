@@ -210,7 +210,7 @@ func (f *Flash) routeMice(s route.Session) error {
 			remaining -= amount
 		}
 	}
-	return route.Finish(s, route.ErrInsufficent)
+	return route.Finish(s, route.ErrInsufficient)
 }
 
 // pathOrder returns the order in which to try table paths: random by

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/pcn"
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+// This file implements the speculative probe pipeline of elephant
+// routing: Algorithm 1 with its dominant per-payment cost — k
+// sequential probe round trips — collapsed to ⌈k/ProbeWorkers⌉ rounds
+// of concurrent probes, without giving up determinism.
+//
+// Each round:
+//
+//  1. Candidate stage — compute up to ProbeWorkers distinct candidate
+//     shortest paths on the sender's current knowledge graph:
+//     the BFS shortest path plus Yen-style edge-avoidance spur
+//     deviations (graph.YenKSPUsable), all filtered by the probed
+//     residuals exactly as the sequential BFS is.
+//  2. Probe stage — probe the candidates concurrently on a bounded
+//     pool. Candidates whose every hop is already known from an
+//     earlier round's speculation are not re-probed: surplus probed
+//     knowledge is kept, so speculation is never wasted.
+//  3. Merge stage — fold the probe results back in candidate-index
+//     order, applying first-probe recording, bottleneck computation
+//     and residual updates exactly as if the candidates had been
+//     probed one at a time. Early-stop-at-demand is preserved: once
+//     the accumulated flow covers the demand no further candidate
+//     joins the plan, and the knowledge from already-probed surplus
+//     candidates is merely recorded.
+//
+// Determinism: the candidate set is a pure function of the knowledge
+// state (BFS and Yen tie-break deterministically), probes are reads,
+// and the merge order is fixed — so for a fixed seed and a fixed
+// ProbeWorkers the discovered plan is identical across runs. Goroutine
+// scheduling can only reorder the probe *executions*, never the merge.
+// Different ProbeWorkers values legitimately discover different (still
+// valid) plans, exactly as a different k would.
+
+// probePoolSize resolves the configured probe parallelism against the
+// session's capability: sessions that do not implement
+// route.ParallelProber (or answer false) are always probed
+// sequentially, whatever the config asks for.
+func (f *Flash) probePoolSize(s route.Session) int {
+	w := f.cfg.ProbeWorkers
+	if w <= 1 {
+		return 1
+	}
+	pp, ok := s.(route.ParallelProber)
+	if !ok || !pp.SupportsParallelProbe() {
+		return 1
+	}
+	return w
+}
+
+// unknownHops reports whether any hop of p is missing from the probed
+// capacity matrix. Probing records both directions of every on-path
+// channel, so a path made entirely of known hops carries no new
+// information and need not be re-probed.
+func (ps *probedState) unknownHops(p []topo.NodeID) bool {
+	for _, e := range graph.PathEdges(p) {
+		if !ps.known(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// findElephantPathsPipelined is findElephantPaths with the probe
+// round trips batched onto a bounded concurrent pool, workers ≥ 2
+// wide. The session must support concurrent probes (the caller
+// checked); probes are fenced from the hold phase because every round
+// joins the pool before returning.
+func (f *Flash) findElephantPathsPipelined(s route.Session, k, workers int) *elephantPlan {
+	ps := newProbedState()
+	plan := &elephantPlan{state: ps}
+	g := s.Graph()
+	demand := s.Demand()
+	demandMet := func() bool {
+		return !f.cfg.ProbeAllK && plan.flow >= demand-route.Epsilon
+	}
+
+	for len(plan.paths) < k {
+		// Candidate stage. Speculate at most as many paths as the k
+		// budget still allows, so the message overhead of speculation is
+		// bounded by the early-stop overshoot alone.
+		want := workers
+		if rem := k - len(plan.paths); want > rem {
+			want = rem
+		}
+		cands := graph.YenKSPUsable(g, s.Sender(), s.Receiver(), want, ps.usable)
+		if len(cands) == 0 {
+			break
+		}
+
+		// Probe stage: concurrent, bounded, results indexed by
+		// candidate. needsProbe is computed before the fan-out so the
+		// workers never read the (unsynchronised) knowledge maps.
+		infos := make([][]pcn.HopInfo, len(cands))
+		errs := make([]error, len(cands))
+		needsProbe := make([]bool, len(cands))
+		for i, p := range cands {
+			needsProbe[i] = ps.unknownHops(p)
+		}
+		parallel.ForEach(len(cands), workers, func(_, i int) {
+			if needsProbe[i] {
+				infos[i], errs[i] = s.Probe(cands[i])
+			}
+		})
+
+		// Merge stage, strictly in candidate-index order.
+		for i, p := range cands {
+			if errs[i] != nil {
+				// Mirror the sequential loop's break on a failed probe:
+				// keep everything merged so far, stop discovering.
+				if plan.flow >= demand-route.Epsilon {
+					return plan
+				}
+				return nil
+			}
+			if infos[i] != nil {
+				ps.record(p, infos[i])
+			}
+			if demandMet() || len(plan.paths) >= k {
+				// Surplus speculation: the probe already happened, so its
+				// knowledge is kept (recorded above) for later rounds and
+				// for the fee LP, but the path itself stays out of the
+				// plan — early-stop semantics.
+				continue
+			}
+			plan.accept(p, ps.bottleneck(p))
+		}
+		if demandMet() {
+			return plan
+		}
+	}
+	if plan.flow >= demand-route.Epsilon {
+		return plan
+	}
+	return nil // Algorithm 1 line 28: demand unsatisfiable with k paths
+}

@@ -30,7 +30,7 @@ func AblationElephantK(o Options) error {
 	o.header("Ablation", "elephant path budget k (paper recommends 20–30)")
 	w := o.table("k\tsucc.volume\tsucc.ratio\telephant probe msgs")
 	for _, k := range []int{1, 5, 10, 20, 30, 40} {
-		sc := sim.DefaultScenario(sim.KindRipple, o.rippleNodes())
+		sc := o.scenario(sim.KindRipple, o.rippleNodes())
 		sc.Txns = o.txns(sc.Txns)
 		sc.FlashK = k
 		sc.Runs = o.runs()
@@ -55,7 +55,7 @@ func AblationMiceOrder(o Options) error {
 	o.header("Ablation", "mice path order: random (paper) vs fixed shortest-first")
 	w := o.table("order\tsucc.volume\tsucc.ratio\tmice probe msgs")
 	for _, fixed := range []bool{false, true} {
-		sc := sim.DefaultScenario(sim.KindRipple, o.rippleNodes())
+		sc := o.scenario(sim.KindRipple, o.rippleNodes())
 		sc.Txns = o.txns(sc.Txns)
 		sc.Runs = o.runs()
 		sc.Seed = o.seed()
@@ -85,7 +85,7 @@ func AblationProbeAllK(o Options) error {
 	o.header("Ablation", "Algorithm 1 termination: early exit vs always-k")
 	w := o.table("variant\tsucc.volume\tfee ratio\telephant probe msgs")
 	for _, all := range []bool{false, true} {
-		sc := sim.DefaultScenario(sim.KindRipple, o.rippleNodes())
+		sc := o.scenario(sim.KindRipple, o.rippleNodes())
 		sc.Txns = o.txns(sc.Txns)
 		sc.Runs = o.runs()
 		sc.Seed = o.seed()
@@ -113,7 +113,7 @@ func AblationProbeAllK(o Options) error {
 func AblationMaxFlowBound(o Options) error {
 	o.header("Ablation", "Flash vs full-probe max-flow upper bound")
 	w := o.table("scheme\tsucc.volume\tsucc.ratio\tprobe msgs")
-	sc := sim.DefaultScenario(sim.KindRipple, o.rippleNodes())
+	sc := o.scenario(sim.KindRipple, o.rippleNodes())
 	sc.Txns = o.txns(sc.Txns)
 	sc.Runs = o.runs()
 	sc.Seed = o.seed()

@@ -42,6 +42,7 @@ func Dynamic(o Options) error {
 		sc.Duration = duration
 		sc.Rate = rate
 		sc.Schemes = schemes
+		sc.ProbeWorkers = o.ProbeWorkers
 		sc.Seed = o.seed()
 		results, err := sim.RunDynamicScenario(sc)
 		if err != nil {

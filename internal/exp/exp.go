@@ -35,6 +35,22 @@ type Options struct {
 	// deterministic functions of the seed, so the printed tables are
 	// identical at any worker count — only wall-clock time changes.
 	Workers int
+
+	// ProbeWorkers sets Flash's per-session speculative probe pool in
+	// every simulated cell (sim.Scenario.ProbeWorkers /
+	// sim.DynamicScenario.ProbeWorkers). ≤ 1 — the default — keeps the
+	// sequential Algorithm 1 probing the paper's figures were captured
+	// with; > 1 trades extra probe messages for lower per-elephant
+	// latency. Tables stay deterministic for a fixed value.
+	ProbeWorkers int
+}
+
+// scenario builds the base experiment cell for a kind, applying the
+// option-level Flash knobs every figure shares.
+func (o Options) scenario(kind string, nodes int) sim.Scenario {
+	sc := sim.DefaultScenario(kind, nodes)
+	sc.ProbeWorkers = o.ProbeWorkers
+	return sc
 }
 
 // runCells executes n independent cell functions on the Options.Workers
@@ -216,7 +232,7 @@ func Fig6(o Options) error {
 		w := o.table("scale\tscheme\tsucc.ratio\tsucc.volume")
 		rows, err := o.runCells(len(factors), func(i int) (string, error) {
 			f := factors[i]
-			sc := sim.DefaultScenario(kind, nodes)
+			sc := o.scenario(kind, nodes)
 			sc.ScaleFactor = f
 			sc.Txns = o.txns(sc.Txns)
 			sc.Runs = o.runs()
@@ -259,7 +275,7 @@ func Fig7(o Options) error {
 		w := o.table("txns\tscheme\tsucc.ratio\tsucc.volume")
 		rows, err := o.runCells(len(loads), func(i int) (string, error) {
 			txns := loads[i]
-			sc := sim.DefaultScenario(kind, nodes)
+			sc := o.scenario(kind, nodes)
 			sc.Txns = o.txns(txns)
 			sc.Runs = o.runs()
 			sc.Seed = o.seed()
@@ -297,7 +313,7 @@ func Fig8(o Options) error {
 		if kind == sim.KindLightning {
 			nodes = o.lightningNodes()
 		}
-		sc := sim.DefaultScenario(kind, nodes)
+		sc := o.scenario(kind, nodes)
 		sc.Txns = o.txns(sc.Txns)
 		sc.Schemes = []string{sim.SchemeFlash, sim.SchemeSpider}
 		sc.Runs = o.runs()
@@ -331,7 +347,7 @@ func Fig9(o Options) error {
 		fmt.Fprintf(o.Out, "-- %s --\n", kindLabel(kind))
 		w := o.table("txns\tfee ratio w/ opt\tfee ratio w/o opt\treduction")
 		for _, txns := range loads {
-			sc := sim.DefaultScenario(kind, nodes)
+			sc := o.scenario(kind, nodes)
 			sc.Txns = o.txns(txns)
 			sc.Runs = o.runs()
 			sc.Seed = o.seed()
@@ -369,7 +385,7 @@ func Fig10(o Options) error {
 		fmt.Fprintf(o.Out, "-- %s --\n", kindLabel(kind))
 		w := o.table("mice %\tsucc.volume\tprobe messages")
 		for frac := 0.0; frac <= 1.0; frac += 0.1 {
-			sc := sim.DefaultScenario(kind, nodes)
+			sc := o.scenario(kind, nodes)
 			sc.Txns = o.txns(sc.Txns)
 			sc.MiceFraction = frac
 			if frac == 0 {
@@ -399,7 +415,7 @@ func Fig11(o Options) error {
 	o.header("Figure 11", "impact of paths per receiver (m) on mice routing")
 	w := o.table("m\tmice succ.volume\tmice probe messages")
 	for m := 0; m <= 8; m++ {
-		sc := sim.DefaultScenario(sim.KindRipple, o.rippleNodes())
+		sc := o.scenario(sim.KindRipple, o.rippleNodes())
 		sc.Txns = o.txns(sc.Txns)
 		sc.FlashM = m
 		sc.FlashMSet = true
@@ -431,7 +447,7 @@ func Headline(o Options) error {
 			nodes = o.lightningNodes()
 		}
 		for _, f := range []float64{1, 10, 30} {
-			sc := sim.DefaultScenario(kind, nodes)
+			sc := o.scenario(kind, nodes)
 			sc.Txns = o.txns(sc.Txns)
 			sc.ScaleFactor = f
 			sc.Runs = o.runs()

@@ -12,10 +12,20 @@ import (
 // top-m of these paths (§3.3). Ties between equal-length paths break
 // lexicographically on node IDs, so output is deterministic.
 func YenKSP(g *topo.Graph, s, t topo.NodeID, k int) [][]topo.NodeID {
+	return YenKSPUsable(g, s, t, k, nil)
+}
+
+// YenKSPUsable is YenKSP restricted to directed hops satisfying usable:
+// every hop of every returned path passes the predicate, exactly as in
+// ShortestPath. Flash's speculative probe pipeline uses it to draw the
+// per-round candidate set from the sender's residual knowledge graph —
+// the BFS shortest path plus edge-avoidance spur deviations, all
+// distinct and all deterministic for a fixed graph and predicate.
+func YenKSPUsable(g *topo.Graph, s, t topo.NodeID, k int, usable Usable) [][]topo.NodeID {
 	if k <= 0 {
 		return nil
 	}
-	first := ShortestPath(g, s, t, nil)
+	first := ShortestPath(g, s, t, usable)
 	if first == nil {
 		return nil
 	}
@@ -50,8 +60,10 @@ func YenKSP(g *topo.Graph, s, t topo.NodeID, k int) [][]topo.NodeID {
 				if bannedNodes[v] == gen {
 					return false
 				}
-				_, banned := bannedEdges[DirEdge{U: u, V: v}]
-				return !banned
+				if _, banned := bannedEdges[DirEdge{U: u, V: v}]; banned {
+					return false
+				}
+				return usable == nil || usable(u, v)
 			})
 			if spurPath == nil {
 				continue

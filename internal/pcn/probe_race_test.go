@@ -1,0 +1,92 @@
+package pcn
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// TestConcurrentProbeSingleSession hammers Probe on a single Tx from
+// many goroutines — the one concurrent use the session contract
+// sanctions (route.ParallelProber), and exactly what Flash's
+// speculative probe pipeline does. Run with -race to exercise the
+// scratch-buffer claim/pool handoff. Afterwards the per-session probe
+// accounting must equal the sum of all calls, every observed snapshot
+// must match the quiescent network, and the session must still hold
+// and commit normally (the scratch must have been released).
+func TestConcurrentProbeSingleSession(t *testing.T) {
+	const (
+		nodes   = 8
+		balance = 500.0
+		workers = 8
+		rounds  = 200
+	)
+	net := buildDense(t, nodes, balance)
+	tx, err := net.Begin(0, topo.NodeID(nodes-1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tx.SupportsParallelProbe() {
+		t.Fatal("Tx must advertise parallel probe support")
+	}
+
+	// A mix of 1-hop and 2-hop sender→receiver paths, so concurrent
+	// probes resolve different hop counts into the shared scratch.
+	paths := [][]topo.NodeID{{0, topo.NodeID(nodes - 1)}}
+	for mid := 1; mid < nodes-1; mid++ {
+		paths = append(paths, []topo.NodeID{0, topo.NodeID(mid), topo.NodeID(nodes - 1)})
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p := paths[(w+i)%len(paths)]
+				info, err := tx.Probe(p)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				// The network is quiescent, so every snapshot must show
+				// the full funding on both sides of every hop.
+				for h := range info {
+					if info[h].Available != balance || info[h].ReverseAvailable != balance {
+						t.Errorf("worker %d: hop %d of %v probed %v/%v, want %v/%v",
+							w, h, p, info[h].Available, info[h].ReverseAvailable, balance, balance)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+
+	// Accounting: each call costs 2·hops messages; workers cycle
+	// through the path list in lockstep offsets.
+	want := 0
+	for w := 0; w < workers; w++ {
+		for i := 0; i < rounds; i++ {
+			want += 2 * (len(paths[(w+i)%len(paths)]) - 1)
+		}
+	}
+	if got := tx.ProbeMessages(); got != want {
+		t.Errorf("ProbeMessages = %d, want %d", got, want)
+	}
+
+	// The session must still work sequentially after the storm.
+	if err := tx.Hold(paths[0], 10); err != nil {
+		t.Fatalf("post-storm hold: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("post-storm commit: %v", err)
+	}
+}

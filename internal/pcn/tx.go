@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/topo"
 )
@@ -24,10 +26,16 @@ var (
 // (§5.1): Probe ≈ PROBE/PROBE_ACK, Hold ≈ COMMIT/COMMIT_ACK, Commit ≈
 // CONFIRM/CONFIRM_ACK, Abort ≈ REVERSE/REVERSE_ACK.
 //
-// A Tx must be used from a single goroutine and finished with exactly
-// one Commit or Abort. Any number of Tx values may run concurrently
-// over one Network: each operation locks only the channels it touches,
-// in ascending channel-index order (see the package comment).
+// A Tx is driven by a single goroutine and finished with exactly one
+// Commit or Abort, with one sanctioned exception: Probe is safe for
+// concurrent calls on the same session (Tx implements
+// route.ParallelProber), which is what lets Flash's speculative probe
+// pipeline measure several candidate paths in one round trip's worth
+// of latency. Concurrent probes must not overlap Hold, Commit, Abort
+// or Resume — the caller fences them (Flash joins its probe pool
+// before holding). Any number of Tx values may run concurrently over
+// one Network: each operation locks only the channels it touches, in
+// ascending channel-index order (see the package comment).
 //
 // # Hold-span state machine
 //
@@ -64,15 +72,47 @@ type Tx struct {
 	deferCommit bool
 	suspended   bool
 
-	probeMsgs  int
+	probeMsgs  atomic.Int64 // atomic: Probe may run concurrently
 	commitMsgs int
 	feesPaid   float64
 
 	// Reusable scratch for the per-operation hop resolution and lock
-	// ordering — a Tx belongs to one goroutine, so reuse is safe and
-	// keeps Probe/Hold free of per-call slice allocations.
-	lockScratch []int
-	hopScratch  []pathHop
+	// ordering, keeping Probe/Hold free of per-call slice allocations.
+	// Hold/Commit/Abort (single-goroutine by contract) use it directly;
+	// Probe — which may run concurrently with other Probes — claims it
+	// with a compare-and-swap and falls back to a pooled buffer when
+	// another probe got there first, so the sequential fast path stays
+	// at one allocation per op (the returned info slice).
+	scratch     txScratch
+	scratchBusy atomic.Bool
+}
+
+// txScratch is the reusable hop-resolution and lock-ordering buffer of
+// one probe/hold operation.
+type txScratch struct {
+	lock []int
+	hops []pathHop
+}
+
+// scratchPool backs the overflow scratch buffers of concurrent probes.
+var scratchPool = sync.Pool{New: func() any { return new(txScratch) }}
+
+// acquireScratch claims the Tx-owned scratch, or draws a pooled one
+// when a concurrent probe already holds it.
+func (t *Tx) acquireScratch() *txScratch {
+	if t.scratchBusy.CompareAndSwap(false, true) {
+		return &t.scratch
+	}
+	return scratchPool.Get().(*txScratch)
+}
+
+// releaseScratch returns a scratch obtained from acquireScratch.
+func (t *Tx) releaseScratch(sc *txScratch) {
+	if sc == &t.scratch {
+		t.scratchBusy.Store(false)
+		return
+	}
+	scratchPool.Put(sc)
 }
 
 // pathHop is one directed hop resolved to its channel index and
@@ -162,19 +202,26 @@ func (t *Tx) resolvePathInto(buf []pathHop, path []topo.NodeID) ([]pathHop, erro
 	return buf, nil
 }
 
-// lockOrder returns the distinct channel indices of hops in ascending
-// order — the global acquisition order that makes multi-channel locking
-// deadlock-free. The result lives in the Tx scratch buffer and is valid
-// until the next lockOrder/holdLockOrder call.
-func (t *Tx) lockOrder(hops []pathHop) []int {
-	s := t.lockScratch[:0]
+// lockOrderInto appends the distinct channel indices of hops to buf in
+// ascending order — the global acquisition order that makes
+// multi-channel locking deadlock-free. The result reuses buf's backing
+// array.
+func lockOrderInto(buf []int, hops []pathHop) []int {
+	s := buf[:0]
 	for _, h := range hops {
 		s = append(s, h.idx)
 	}
 	sort.Ints(s)
-	s = slices.Compact(s)
-	t.lockScratch = s
-	return s
+	return slices.Compact(s)
+}
+
+// lockOrder is lockOrderInto over the Tx-owned scratch buffer; the
+// result is valid until the next lockOrder/holdLockOrder call. Only
+// the single-goroutine operations (Hold, Commit, Abort, Resume) may
+// use it — Probe goes through acquireScratch instead.
+func (t *Tx) lockOrder(hops []pathHop) []int {
+	t.scratch.lock = lockOrderInto(t.scratch.lock, hops)
+	return t.scratch.lock
 }
 
 // lockChannels acquires the locks of the given channels; idxs must be
@@ -197,6 +244,12 @@ func (n *Network) unlockChannels(idxs []int) {
 // travels to the receiver and the acknowledgement returns). All on-path
 // channels are read under their locks together, so the result is a
 // consistent snapshot even while other payments commit concurrently.
+//
+// Probe is safe for concurrent calls on the same session — the one Tx
+// operation that is. Flash's probe pipeline exploits this to measure
+// several speculative candidate paths at once; each call claims the
+// Tx scratch buffer or falls back to a pooled one, so the sequential
+// caller still pays a single allocation (the info slice) per probe.
 func (t *Tx) Probe(path []topo.NodeID) ([]HopInfo, error) {
 	if t.finished {
 		return nil, ErrFinished
@@ -204,13 +257,16 @@ func (t *Tx) Probe(path []topo.NodeID) ([]HopInfo, error) {
 	if err := t.validPath(path); err != nil {
 		return nil, err
 	}
-	hops, err := t.resolvePathInto(t.hopScratch[:0], path)
+	sc := t.acquireScratch()
+	defer t.releaseScratch(sc)
+	hops, err := t.resolvePathInto(sc.hops[:0], path)
 	if err != nil {
 		return nil, err
 	}
-	t.hopScratch = hops
+	sc.hops = hops
 	info := make([]HopInfo, len(hops))
-	order := t.lockOrder(hops)
+	sc.lock = lockOrderInto(sc.lock, hops)
+	order := sc.lock
 	t.net.lockChannels(order)
 	for i, h := range hops {
 		ch := &t.net.chans[h.idx]
@@ -228,9 +284,16 @@ func (t *Tx) Probe(path []topo.NodeID) ([]HopInfo, error) {
 	}
 	t.net.unlockChannels(order)
 	t.net.probeMessages.Add(int64(2 * len(hops)))
-	t.probeMsgs += 2 * len(hops)
+	t.probeMsgs.Add(int64(2 * len(hops)))
 	return info, nil
 }
+
+// SupportsParallelProbe reports that concurrent Probe calls on this
+// session are safe (route.ParallelProber): Probe takes no session-level
+// locks beyond a scratch-buffer claim and reads channel state under the
+// per-channel locks. The testbed's TCP session does not implement the
+// interface, so routers fall back to sequential probing there.
+func (t *Tx) SupportsParallelProbe() bool { return true }
 
 // LocalBalance returns the available balance of hop u→v without any
 // message cost. It models knowledge a node has of its own channels
@@ -334,7 +397,7 @@ func (t *Tx) HeldTotal() float64 {
 // commit/abort of a multi-path payment. Shares the Tx scratch buffer
 // with lockOrder.
 func (t *Tx) holdLockOrder() []int {
-	s := t.lockScratch[:0]
+	s := t.scratch.lock[:0]
 	for _, h := range t.holds {
 		for _, ph := range h.hops {
 			s = append(s, ph.idx)
@@ -342,7 +405,7 @@ func (t *Tx) holdLockOrder() []int {
 	}
 	sort.Ints(s)
 	s = slices.Compact(s)
-	t.lockScratch = s
+	t.scratch.lock = s
 	return s
 }
 
@@ -481,7 +544,7 @@ func clampDust(v float64) float64 {
 func (t *Tx) Finished() bool { return t.finished }
 
 // ProbeMessages returns the probe messages this session has sent.
-func (t *Tx) ProbeMessages() int { return t.probeMsgs }
+func (t *Tx) ProbeMessages() int { return int(t.probeMsgs.Load()) }
 
 // CommitMessages returns the commit-phase messages this session has
 // sent.

@@ -23,11 +23,18 @@ import (
 // partial payment is applied; after Abort none is.
 //
 // Concurrency contract: a Session belongs to exactly one goroutine for
-// its lifetime — no Session method is called concurrently. The network
-// behind the session, however, is shared: any number of sessions may
-// probe, hold and commit concurrently, and implementations must make
-// each individual operation atomic against the others (pcn.Tx does this
-// with per-channel locks acquired in ascending channel-index order).
+// its lifetime — no Session method is called concurrently — with one
+// opt-in exception: a Session that implements ParallelProber and
+// reports support thereby permits concurrent Probe calls from the
+// goroutines of a single router's probe pool. Even then Probe never
+// overlaps Hold, Commit or Abort: the router joins its probe workers
+// before moving to the hold phase (core.Flash fences rounds on its
+// bounded pool). Sessions that do not implement ParallelProber are
+// always driven strictly sequentially. The network behind the session,
+// however, is shared: any number of sessions may probe, hold and
+// commit concurrently, and implementations must make each individual
+// operation atomic against the others (pcn.Tx does this with
+// per-channel locks acquired in ascending channel-index order).
 // Routers given to concurrent sessions must likewise be safe for
 // concurrent Route calls (all routers in this repository are).
 type Session interface {
@@ -98,6 +105,27 @@ type Yielder interface {
 // Compile-time check: the in-memory transaction supports hold spans.
 var _ Yielder = (*pcn.Tx)(nil)
 
+// ParallelProber is optionally implemented by Sessions whose Probe is
+// safe for concurrent calls within one session. Routers with a probe
+// pool (core.Flash when Config.ProbeWorkers > 1) check this capability
+// before fanning probes out and fall back to strictly sequential
+// probing when it is absent or answers false — which is what keeps the
+// TCP testbed session, whose wire protocol serialises round trips per
+// session, correct without knowing anything about probe pipelines.
+//
+// Supporting implementations guarantee only Probe-vs-Probe safety;
+// the caller still must fence probes from Hold/Commit/Abort (see the
+// Session concurrency contract above).
+type ParallelProber interface {
+	// SupportsParallelProbe reports whether concurrent Probe calls on
+	// this session are safe.
+	SupportsParallelProbe() bool
+}
+
+// Compile-time check: the in-memory transaction supports concurrent
+// probing.
+var _ ParallelProber = (*pcn.Tx)(nil)
+
 // RandSource is optionally implemented by Sessions that carry a
 // deterministic per-payment random source. Routers that make random
 // choices (e.g. Flash's random mice path order, §3.3) should prefer it
@@ -131,9 +159,16 @@ type Router interface {
 // Routing failure reasons. Routers wrap or return these so callers can
 // distinguish "no path exists" from "paths exist but lack balance".
 var (
-	ErrNoRoute     = errors.New("route: no path between sender and receiver")
-	ErrInsufficent = errors.New("route: insufficient capacity for demand")
+	ErrNoRoute      = errors.New("route: no path between sender and receiver")
+	ErrInsufficient = errors.New("route: insufficient capacity for demand")
 )
+
+// ErrInsufficent is the misspelled former name of ErrInsufficient,
+// kept as an alias (the identical error value, so errors.Is matches
+// across both names) for external callers.
+//
+// Deprecated: use ErrInsufficient.
+var ErrInsufficent = ErrInsufficient
 
 // MinAvailable returns the bottleneck (minimum available balance) of a
 // probed path, or 0 for an empty probe result.
@@ -205,7 +240,7 @@ func HoldUpTo(s Session, path []topo.NodeID, want float64) float64 {
 
 // Finish commits the session when its held total covers the demand and
 // aborts it otherwise, translating the outcome into Route's contract.
-// reason is returned on abort (defaulting to ErrInsufficent).
+// reason is returned on abort (defaulting to ErrInsufficient).
 func Finish(s Session, reason error) error {
 	if s.HeldTotal() >= s.Demand()-Epsilon {
 		if err := s.Commit(); err != nil {
@@ -217,7 +252,7 @@ func Finish(s Session, reason error) error {
 		return err
 	}
 	if reason == nil {
-		reason = ErrInsufficent
+		reason = ErrInsufficient
 	}
 	return reason
 }

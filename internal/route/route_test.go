@@ -116,8 +116,8 @@ func TestFinishAbortsOnShortfall(t *testing.T) {
 	tx, _ := net.Begin(0, 2, 40)
 	tx.Hold([]topo.NodeID{0, 1, 2}, 10)
 	err := Finish(tx, nil)
-	if !errors.Is(err, ErrInsufficent) {
-		t.Fatalf("Finish = %v, want ErrInsufficent", err)
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("Finish = %v, want ErrInsufficient", err)
 	}
 	if net.Balance(0, 1) != 100 {
 		t.Error("abort did not release the partial hold")

@@ -146,6 +146,16 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 	if horizon <= 0 {
 		return DynamicResult{}, fmt.Errorf("sim: dynamic horizon must be positive, got %v", horizon)
 	}
+	// A source built over a zero/negative-rate arrival process would
+	// silently schedule +Inf/NaN virtual times onto the event heap;
+	// sources that can check themselves (trace.Stream, barbellStream)
+	// are checked here, so calling RunDynamic directly is as safe as
+	// going through RunDynamicScenario's validation.
+	if v, ok := src.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return DynamicResult{}, fmt.Errorf("sim: payment source: %w", err)
+		}
+	}
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
@@ -450,6 +460,12 @@ type DynamicScenario struct {
 	Retries int
 	Service float64 // mean virtual service time per payment
 	Seed    int64
+
+	// ProbeWorkers sets Flash's per-session speculative probe pool
+	// (core.Config.ProbeWorkers; see Scenario.ProbeWorkers). A fixed
+	// seed plus a fixed ProbeWorkers replays identically with
+	// Workers ≤ 1; ≤ 1 is the sequential Algorithm 1 loop.
+	ProbeWorkers int
 }
 
 // DynamicSchemeResult pairs a scheme with its dynamic-run result.
@@ -628,7 +644,12 @@ func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
 		default:
 			return nil, fmt.Errorf("sim: unknown dynamic fixture %q", sc.Fixture)
 		}
-		r, err := NewRouter(scheme, threshold, sc.FlashK, sc.FlashM, sc.FlashMSet, sc.Seed)
+		r, err := BuildRouter(RouterSpec{
+			Scheme: scheme, Threshold: threshold,
+			K: sc.FlashK, M: sc.FlashM, MSet: sc.FlashMSet,
+			ProbeWorkers: sc.ProbeWorkers,
+			Seed:         sc.Seed,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -715,6 +736,10 @@ type barbellStream struct {
 	now    float64
 	next   int
 }
+
+// Validate checks the stream's arrival process, mirroring
+// trace.Stream.Validate (RunDynamic calls it before scheduling).
+func (b *barbellStream) Validate() error { return b.arr.Validate() }
 
 // Next implements trace.PaymentSource.
 func (b *barbellStream) Next() (trace.Payment, float64, bool) {

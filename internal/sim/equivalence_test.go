@@ -44,6 +44,12 @@ var goldenMetrics = map[string]Metrics{
 
 // goldenRun replays the fixed golden scenario with the given options.
 func goldenRun(t *testing.T, kind string, opts Options) Metrics {
+	return goldenRunProbe(t, kind, opts, 0)
+}
+
+// goldenRunProbe is goldenRun with Flash's probe pool width exposed
+// (0/1 = the sequential seed path).
+func goldenRunProbe(t *testing.T, kind string, opts Options, probeWorkers int) Metrics {
 	t.Helper()
 	net, err := BuildNetwork(kind, 120, 10, 0, 0, 42)
 	if err != nil {
@@ -61,7 +67,7 @@ func goldenRun(t *testing.T, kind string, opts Options) Metrics {
 	}
 	payments := gen.Generate(400)
 	threshold := core.ThresholdForMiceFraction(trace.Amounts(payments), 0.9)
-	r, err := NewRouter(SchemeFlash, threshold, 0, 0, false, 42)
+	r, err := BuildRouter(RouterSpec{Scheme: SchemeFlash, Threshold: threshold, ProbeWorkers: probeWorkers, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -73,6 +73,13 @@ type Scenario struct {
 	// with jittered backoff (sim.Options.Retries).
 	Retries int
 
+	// ProbeWorkers sets the per-session probe pool of Flash's elephant
+	// routing (core.Config.ProbeWorkers): > 1 probes that many
+	// speculative candidate paths concurrently per round; ≤ 1 — the
+	// default — keeps the sequential Algorithm 1 loop, byte-identical
+	// to the seed engine. Only Flash variants consult it.
+	ProbeWorkers int
+
 	// ParallelSchemes runs the scenario's schemes concurrently, each on
 	// its own identically-seeded network and workload, instead of
 	// restoring one network between schemes. With sequential replay
@@ -163,31 +170,44 @@ func workloadFor(kind string, g *topo.Graph, seed int64) (*trace.Generator, erro
 	return trace.NewGenerator(cfg)
 }
 
-// NewRouter instantiates a scheme by name with the paper's parameters.
-// threshold is the elephant threshold for Flash variants; k/m override
-// Flash's path counts when kSet/mSet request it. For the ablation
-// variants use NewRouterConfig.
-func NewRouter(name string, threshold float64, k, m int, mSet bool, seed int64) (route.Router, error) {
-	return NewRouterConfig(name, threshold, k, m, mSet, false, false, seed)
+// RouterSpec names a scheme together with every knob a scenario can
+// turn on it. The zero value of each field means "paper default";
+// non-Flash schemes ignore the Flash fields. BuildRouter is the single
+// construction path behind NewRouter, NewRouterConfig and the scenario
+// runners, so a new Flash knob only needs a field here.
+type RouterSpec struct {
+	Scheme    string
+	Threshold float64 // Flash elephant threshold
+
+	K    int  // elephant path budget override (> 0)
+	M    int  // mice table paths override (> 0, or MSet)
+	MSet bool // honour M even when zero (Figure 11's m=0)
+
+	FixedMiceOrder bool // ablation: deterministic mice path order
+	ProbeAllK      bool // ablation: no early exit in Algorithm 1
+	ProbeWorkers   int  // per-session probe pool width (≤ 1 sequential)
+
+	Seed int64
 }
 
-// NewRouterConfig is NewRouter with the Flash ablation knobs exposed.
-func NewRouterConfig(name string, threshold float64, k, m int, mSet, fixedOrder, probeAllK bool, seed int64) (route.Router, error) {
+// BuildRouter instantiates the scheme a spec describes.
+func BuildRouter(spec RouterSpec) (route.Router, error) {
 	mkFlash := func(noOpt bool) route.Router {
-		cfg := core.DefaultConfig(threshold)
-		if k > 0 {
-			cfg.K = k
+		cfg := core.DefaultConfig(spec.Threshold)
+		if spec.K > 0 {
+			cfg.K = spec.K
 		}
-		if m > 0 || mSet {
-			cfg.M = m
+		if spec.M > 0 || spec.MSet {
+			cfg.M = spec.M
 		}
 		cfg.DisableFeeOpt = noOpt
-		cfg.FixedMiceOrder = fixedOrder
-		cfg.ProbeAllK = probeAllK
-		cfg.Seed = seed
+		cfg.FixedMiceOrder = spec.FixedMiceOrder
+		cfg.ProbeAllK = spec.ProbeAllK
+		cfg.ProbeWorkers = spec.ProbeWorkers
+		cfg.Seed = spec.Seed
 		return core.New(cfg)
 	}
-	switch name {
+	switch spec.Scheme {
 	case SchemeFlash:
 		return mkFlash(false), nil
 	case SchemeFlashNoOpt:
@@ -201,7 +221,34 @@ func NewRouterConfig(name string, threshold float64, k, m int, mSet, fixedOrder,
 	case SchemeMaxFlow:
 		return baseline.NewMaxFlowFullProbe(), nil
 	default:
-		return nil, fmt.Errorf("sim: unknown scheme %q", name)
+		return nil, fmt.Errorf("sim: unknown scheme %q", spec.Scheme)
+	}
+}
+
+// NewRouter instantiates a scheme by name with the paper's parameters.
+// threshold is the elephant threshold for Flash variants; k/m override
+// Flash's path counts when kSet/mSet request it. For the ablation
+// variants use NewRouterConfig; for full control use BuildRouter.
+func NewRouter(name string, threshold float64, k, m int, mSet bool, seed int64) (route.Router, error) {
+	return BuildRouter(RouterSpec{Scheme: name, Threshold: threshold, K: k, M: m, MSet: mSet, Seed: seed})
+}
+
+// NewRouterConfig is NewRouter with the Flash ablation knobs exposed.
+func NewRouterConfig(name string, threshold float64, k, m int, mSet, fixedOrder, probeAllK bool, seed int64) (route.Router, error) {
+	return BuildRouter(RouterSpec{
+		Scheme: name, Threshold: threshold, K: k, M: m, MSet: mSet,
+		FixedMiceOrder: fixedOrder, ProbeAllK: probeAllK, Seed: seed,
+	})
+}
+
+// routerSpec collects the scenario's Flash knobs for one scheme.
+func (sc Scenario) routerSpec(scheme string, threshold float64, seed int64) RouterSpec {
+	return RouterSpec{
+		Scheme: scheme, Threshold: threshold,
+		K: sc.FlashK, M: sc.FlashM, MSet: sc.FlashMSet,
+		FixedMiceOrder: sc.FlashFixedMiceOrder, ProbeAllK: sc.FlashProbeAllK,
+		ProbeWorkers: sc.ProbeWorkers,
+		Seed:         seed,
 	}
 }
 
@@ -275,8 +322,7 @@ func RunScenario(sc Scenario) ([]SchemeResult, error) {
 			if err := net.Restore(snap); err != nil {
 				return nil, err
 			}
-			r, err := NewRouterConfig(scheme, threshold, sc.FlashK, sc.FlashM, sc.FlashMSet,
-				sc.FlashFixedMiceOrder, sc.FlashProbeAllK, runSeed)
+			r, err := BuildRouter(sc.routerSpec(scheme, threshold, runSeed))
 			if err != nil {
 				return nil, err
 			}
@@ -338,8 +384,7 @@ func runOneSchemeCell(sc Scenario, scheme string, runSeed int64, opts Options) (
 	}
 	payments := gen.Generate(sc.Txns)
 	threshold := core.ThresholdForMiceFraction(trace.Amounts(payments), sc.MiceFraction)
-	r, err := NewRouterConfig(scheme, threshold, sc.FlashK, sc.FlashM, sc.FlashMSet,
-		sc.FlashFixedMiceOrder, sc.FlashProbeAllK, runSeed)
+	r, err := BuildRouter(sc.routerSpec(scheme, threshold, runSeed))
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -17,6 +17,14 @@ type ArrivalProcess interface {
 	// NextAfter draws the next arrival time strictly after now
 	// (virtual seconds).
 	NextAfter(rng *rand.Rand, now float64) float64
+	// Validate reports whether the process parameters can produce
+	// finite, strictly-increasing arrival times. NextAfter divides by
+	// its rate, so a zero, negative or non-finite rate would silently
+	// inject +Inf/NaN timestamps into the event heap (or spin forever
+	// in rejection sampling); constructors such as NewStream and the
+	// dynamic engine call Validate so the misconfiguration surfaces as
+	// an error instead.
+	Validate() error
 }
 
 // Poisson is a homogeneous Poisson arrival process: exponential
@@ -32,6 +40,19 @@ func (p Poisson) Name() string { return fmt.Sprintf("poisson(%g/s)", p.Rate) }
 // NextAfter implements ArrivalProcess.
 func (p Poisson) NextAfter(rng *rand.Rand, now float64) float64 {
 	return now + rng.ExpFloat64()/p.Rate
+}
+
+// Validate implements ArrivalProcess: the rate must be positive and
+// finite.
+func (p Poisson) Validate() error { return validRate("poisson", "rate", p.Rate) }
+
+// validRate rejects rates that would make an exponential draw +Inf,
+// NaN or zero-gap.
+func validRate(process, field string, rate float64) error {
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate <= 0 {
+		return fmt.Errorf("trace: %s arrival process needs a positive finite %s, got %v", process, field, rate)
+	}
+	return nil
 }
 
 // FlashCrowd is a piecewise-constant non-homogeneous Poisson process:
@@ -68,6 +89,22 @@ func (f FlashCrowd) NextAfter(rng *rand.Rand, now float64) float64 {
 	return thin(rng, now, peak, f.rate)
 }
 
+// Validate implements ArrivalProcess: the base rate must be positive
+// and finite, and the surge multiplier positive and finite (values in
+// (0, 1] are honoured as "no surge"; a multiplier ≤ 0 would zero the
+// rate inside the surge window and make the thinning loop spin
+// practically forever — exactly the failure class Validate exists to
+// reject).
+func (f FlashCrowd) Validate() error {
+	if err := validRate("flash-crowd", "base rate", f.BaseRate); err != nil {
+		return err
+	}
+	if math.IsNaN(f.Peak) || math.IsInf(f.Peak, 0) || f.Peak <= 0 {
+		return fmt.Errorf("trace: flash-crowd arrival process needs a positive finite peak multiplier, got %v", f.Peak)
+	}
+	return nil
+}
+
 // Diurnal is a sinusoidally-modulated Poisson process: the rate drifts
 // around MeanRate with relative amplitude Swing over a Period-second
 // cycle, modelling the day/night demand drift of real payment traces.
@@ -92,6 +129,23 @@ func (d Diurnal) rate(t float64) float64 {
 func (d Diurnal) NextAfter(rng *rand.Rand, now float64) float64 {
 	peak := d.MeanRate * (1 + d.Swing)
 	return thin(rng, now, peak, d.rate)
+}
+
+// Validate implements ArrivalProcess: the mean rate and period must be
+// positive and finite (a zero period would make the modulated rate NaN
+// and the thinning loop spin forever), the swing within [0, 1) so the
+// instantaneous rate stays positive.
+func (d Diurnal) Validate() error {
+	if err := validRate("diurnal", "mean rate", d.MeanRate); err != nil {
+		return err
+	}
+	if math.IsNaN(d.Swing) || d.Swing < 0 || d.Swing >= 1 {
+		return fmt.Errorf("trace: diurnal arrival process needs a swing in [0, 1), got %v", d.Swing)
+	}
+	if math.IsNaN(d.Period) || math.IsInf(d.Period, 0) || d.Period <= 0 {
+		return fmt.Errorf("trace: diurnal arrival process needs a positive finite period, got %v", d.Period)
+	}
+	return nil
 }
 
 // thin samples the next arrival of a non-homogeneous Poisson process
@@ -129,10 +183,15 @@ type Stream struct {
 // gen (in generation order), arrival times from arr driven by an RNG
 // derived from seed. The two random streams are independent, so the
 // same payment sequence can be replayed under different arrival
-// processes.
+// processes. The arrival process is validated here, so a zero or
+// negative rate fails loudly instead of feeding +Inf/NaN timestamps
+// to whatever consumes the stream.
 func NewStream(gen *Generator, arr ArrivalProcess, seed int64) (*Stream, error) {
 	if gen == nil || arr == nil {
 		return nil, fmt.Errorf("trace: stream needs a generator and an arrival process")
+	}
+	if err := arr.Validate(); err != nil {
+		return nil, err
 	}
 	return &Stream{gen: gen, arr: arr, rng: stats.NewRNG(seed, 0xA881)}, nil
 }
@@ -149,6 +208,11 @@ func (s *Stream) Next() (Payment, float64, bool) {
 
 // SetAmountScale forwards a demand shift to the underlying generator.
 func (s *Stream) SetAmountScale(factor float64) { s.gen.SetAmountScale(factor) }
+
+// Validate re-checks the stream's arrival process (already validated
+// at construction); the dynamic engine calls it on any source that
+// offers it, so hand-built sources get the same guard.
+func (s *Stream) Validate() error { return s.arr.Validate() }
 
 // SecondsPerDay converts between the trace's day-denominated logical
 // timestamps and the dynamic simulator's virtual seconds.

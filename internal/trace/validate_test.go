@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestArrivalProcessValidate sweeps the degenerate parameterisations
+// that used to flow silently into NextAfter and come back as +Inf/NaN
+// timestamps (or an infinite thinning loop): every one must now be
+// rejected by Validate, and the healthy configurations accepted.
+func TestArrivalProcessValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		arr  ArrivalProcess
+		ok   bool
+	}{
+		{"poisson ok", Poisson{Rate: 5}, true},
+		{"poisson zero", Poisson{}, false},
+		{"poisson negative", Poisson{Rate: -2}, false},
+		{"poisson NaN", Poisson{Rate: math.NaN()}, false},
+		{"poisson +Inf", Poisson{Rate: math.Inf(1)}, false},
+		{"flash-crowd ok", FlashCrowd{BaseRate: 3, Peak: 6, Start: 10, Duration: 5}, true},
+		{"flash-crowd no surge", FlashCrowd{BaseRate: 3, Peak: 0.5}, true},
+		{"flash-crowd zero base", FlashCrowd{Peak: 6}, false},
+		{"flash-crowd NaN peak", FlashCrowd{BaseRate: 3, Peak: math.NaN()}, false},
+		{"flash-crowd Inf peak", FlashCrowd{BaseRate: 3, Peak: math.Inf(1)}, false},
+		{"flash-crowd zero peak", FlashCrowd{BaseRate: 3}, false},
+		{"flash-crowd negative peak", FlashCrowd{BaseRate: 3, Peak: -2}, false},
+		{"diurnal ok", Diurnal{MeanRate: 4, Swing: 0.5, Period: 60}, true},
+		{"diurnal zero rate", Diurnal{Swing: 0.5, Period: 60}, false},
+		{"diurnal zero period", Diurnal{MeanRate: 4, Swing: 0.5}, false},
+		{"diurnal swing ≥ 1", Diurnal{MeanRate: 4, Swing: 1, Period: 60}, false},
+		{"diurnal negative swing", Diurnal{MeanRate: 4, Swing: -0.1, Period: 60}, false},
+	}
+	for _, tc := range cases {
+		err := tc.arr.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: Validate() accepted a degenerate process", tc.name)
+		}
+	}
+}
+
+// TestNewStreamRejectsInvalidProcess pins the construction-time guard:
+// a stream over a zero-rate process fails loudly instead of producing
+// +Inf arrival times.
+func TestNewStreamRejectsInvalidProcess(t *testing.T) {
+	gen, err := NewGenerator(DefaultConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStream(gen, Poisson{}, 1); err == nil {
+		t.Fatal("NewStream accepted a zero-rate Poisson process")
+	}
+	s, err := NewStream(gen, Poisson{Rate: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid stream failed re-validation: %v", err)
+	}
+	if _, at, ok := s.Next(); !ok || math.IsInf(at, 0) || math.IsNaN(at) {
+		t.Errorf("valid stream produced arrival %v (ok=%v)", at, ok)
+	}
+}
