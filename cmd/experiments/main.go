@@ -20,15 +20,16 @@ import (
 
 func main() {
 	var (
-		figs    = flag.String("fig", "all", "comma-separated figure list (3,4,6,7,8,9,10,11,12,13,headline,ablations,dynamic) or 'all'")
-		full    = flag.Bool("full", false, "paper-scale parameters (slower)")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		workers = flag.Int("workers", 0, "goroutines for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
-		probeW  = flag.Int("probeworkers", 1, "Flash per-session probe pool: probe N speculative elephant candidate paths concurrently (1 = sequential Algorithm 1)")
+		figs        = flag.String("fig", "all", "comma-separated figure list (3,4,6,7,8,9,10,11,12,13,headline,ablations,dynamic) or 'all'")
+		full        = flag.Bool("full", false, "paper-scale parameters (slower)")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		workers     = flag.Int("workers", 0, "goroutines for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
+		probeW      = flag.Int("probeworkers", 1, "Flash per-session probe pool: probe N speculative elephant candidate paths concurrently (1 = sequential Algorithm 1)")
+		adaptiveThr = flag.Bool("adaptivethreshold", false, "re-calibrate Flash's elephant threshold on a rolling quantile in every dynamic-scenario cell")
 	)
 	flag.Parse()
 
-	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout, Workers: *workers, ProbeWorkers: *probeW}
+	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout, Workers: *workers, ProbeWorkers: *probeW, AdaptiveThreshold: *adaptiveThr}
 	runners := map[string]func(exp.Options) error{
 		"3":         exp.Fig3,
 		"4":         exp.Fig4,

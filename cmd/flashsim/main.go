@@ -40,7 +40,6 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"repro/internal/event"
 	"repro/internal/sim"
 )
 
@@ -74,6 +73,8 @@ func main() {
 		latent    = flag.Int("latent", 0, "latent channels that may open mid-run")
 		peak      = flag.Float64("peak", 0, "flash-crowd rate multiplier / diurnal swing (0 = per-process default)")
 		service   = flag.Float64("service", 0, "mean virtual service time per payment in seconds; > 0 enables hold spans (funds stay locked until the commit event)")
+		adaptive  = flag.Bool("adaptivethreshold", false, "re-calibrate Flash's elephant threshold on a rolling quantile of arrival amounts (dynamic mode)")
+		thrWindow = flag.Float64("thresholdwindow", 0, "adaptive-threshold re-calibration cadence in virtual seconds (0 = time-series window)")
 	)
 	flag.Parse()
 
@@ -85,7 +86,7 @@ func main() {
 	if *dynamic || *scenario != "" {
 		runDynamic(*scenario, *kind, *nodes, *scale, *mice, splitList(*schemes), *seed, conc, *retries,
 			*arrival, *rate, *duration, *window, *churn, *rebalance, *latent, *peak, *service,
-			*flashK, *flashM, *probeW)
+			*flashK, *flashM, *probeW, *adaptive, *thrWindow)
 		return
 	}
 
@@ -139,7 +140,8 @@ func main() {
 // identical bytes (workers ≤ 1).
 func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes []string,
 	seed int64, workers, retries int, arrival string, rate, duration, window,
-	churn, rebalance float64, latent int, peak, service float64, flashK, flashM, probeWorkers int) {
+	churn, rebalance float64, latent int, peak, service float64, flashK, flashM, probeWorkers int,
+	adaptive bool, thrWindow float64) {
 
 	var (
 		sc  sim.DynamicScenario
@@ -194,6 +196,12 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 	if set["service"] || sc.Service == 0 {
 		sc.Service = service // a preset's hold-span default survives unless overridden
 	}
+	if set["adaptivethreshold"] {
+		sc.AdaptiveThreshold = adaptive // a preset's adaptive default survives unless overridden
+	}
+	if set["thresholdwindow"] || sc.ThresholdWindow == 0 {
+		sc.ThresholdWindow = thrWindow // likewise for a preset's cadence
+	}
 	sc.MiceFraction = mice
 	sc.Window = window
 	sc.Schemes = schemes
@@ -213,27 +221,12 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 		os.Exit(1)
 	}
 
-	fmt.Printf("# dynamic scenario=%s kind=%s nodes=%d scale=%g arrival=%s rate=%g/s duration=%gs service=%gs churn=%g/s rebalance=%g/s latent=%d seed=%d workers=%d retries=%d probeworkers=%d\n",
+	fmt.Printf("# dynamic scenario=%s kind=%s nodes=%d scale=%g arrival=%s rate=%g/s duration=%gs service=%gs churn=%g/s rebalance=%g/s latent=%d seed=%d workers=%d retries=%d probeworkers=%d adaptivethr=%v\n",
 		sc.Name, sc.Kind, sc.Nodes, sc.ScaleFactor, sc.Arrival, sc.Rate, sc.Duration, sc.Service,
-		sc.ChurnRate, sc.RebalanceRate, sc.LatentChannels, sc.Seed, sc.Workers, sc.Retries, sc.ProbeWorkers)
+		sc.ChurnRate, sc.RebalanceRate, sc.LatentChannels, sc.Seed, sc.Workers, sc.Retries, sc.ProbeWorkers,
+		sc.AdaptiveThreshold)
 	for _, r := range results {
-		res := r.Result
-		fmt.Printf("== %s ==\n", r.Scheme)
-		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "window\tpayments\tsucc.ratio\tsucc.volume\tprobe msgs")
-		for _, win := range res.Windows {
-			fmt.Fprintf(w, "[%gs,%gs)\t%d\t%.1f%%\t%.4g\t%d\n",
-				win.Start, win.End, win.Metrics.Payments,
-				100*win.Metrics.SuccessRatio(), win.Metrics.SuccessVolume, win.Metrics.ProbeMessages)
-		}
-		agg := res.Aggregate
-		fmt.Fprintf(w, "aggregate\t%d\t%.1f%%\t%.4g\t%d\n",
-			agg.Payments, 100*agg.SuccessRatio(), agg.SuccessVolume, agg.ProbeMessages)
-		w.Flush()
-		c := res.EventCounts
-		fmt.Printf("events: %d arrivals (%d completions), %d open, %d close, %d rebalance, %d demand-shift; span aborts %d; fingerprint %016x\n",
-			c[event.PaymentArrival], c[event.PaymentComplete], c[event.ChannelOpen],
-			c[event.ChannelClose], c[event.Rebalance], c[event.DemandShift], res.SpanAborts, res.Fingerprint)
+		sim.WriteDynamicResult(os.Stdout, r.Scheme, r.Result, sc.AdaptiveThreshold)
 	}
 }
 

@@ -109,7 +109,9 @@
 //     it (latent channels registered up-front may first appear
 //     mid-run); Rebalance evens a channel's directions without ever
 //     dipping below outstanding holds; DemandShift rescales payment
-//     amounts from that instant on.
+//     amounts from that instant on (look-ahead arrival included);
+//     FeeShift rescales a channel's fee schedules (the fee-war knob).
+//     Shift factors are validated at schedule-ingest time.
 //   - Completed payments are recorded into the aggregate Metrics and
 //     into per-window time-series buckets (success ratio / volume /
 //     probing per window), the view that makes flash crowds and
@@ -127,6 +129,16 @@
 //     them; a suspended payment whose channel churns away mid-span
 //     aborts HTLC-timeout style (DynamicResult.SpanAborts). Service =
 //     0 preserves the atomic-at-dispatch behaviour byte-for-byte.
+//   - The adaptive elephant threshold
+//     (DynamicOptions.AdaptiveThreshold, -adaptivethreshold) feeds
+//     every arrival amount through a streaming P² quantile estimator
+//     and re-calibrates Flash's mice/elephant split to the rolling
+//     90%-mice quantile on a ThresholdWindow cadence
+//     (core.Flash.SetThreshold) — the paper's per-workload threshold
+//     calibration kept true under demand drift. Re-calibrations are
+//     ThresholdUpdate events carrying the effective threshold, so the
+//     adaptive trajectory is part of the log fingerprint; off, the
+//     engine is byte-identical to the fixed-threshold behaviour.
 //
 // Time model and determinism: events are totally ordered by (virtual
 // time, scheduling sequence); all randomness — arrival times, service
@@ -143,7 +155,8 @@
 // (the zero-churn equivalence test).
 //
 // A scenario catalogue (NamedDynamicScenario: "steady", "flash-crowd",
-// "depletion-rebalance", "churn", "contention", "hub-failure") drives
+// "depletion-rebalance", "churn", "contention", "hub-failure",
+// "demand-drift", "fee-war") drives
 // comparable cells across schemes; cmd/flashsim exposes it via
 // -dynamic/-scenario/-arrival/-rate/-duration/-churn/-service/
 // -retries, and internal/exp prints the dynamic-scenario table

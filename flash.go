@@ -129,11 +129,13 @@ const (
 	EventChannelClose    = event.ChannelClose
 	EventRebalance       = event.Rebalance
 	EventDemandShift     = event.DemandShift
+	EventFeeShift        = event.FeeShift
+	EventThresholdUpdate = event.ThresholdUpdate
 )
 
 // DynamicScenarioNames lists the built-in dynamic scenario catalogue
 // (steady, flash-crowd, depletion-rebalance, churn, contention,
-// hub-failure).
+// hub-failure, demand-drift, fee-war).
 var DynamicScenarioNames = sim.DynamicScenarioNames
 
 // NewPaymentStream lazily pairs a trace generator with an arrival

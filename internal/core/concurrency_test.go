@@ -129,7 +129,7 @@ func TestPrewarmMatchesLazyTables(t *testing.T) {
 
 	for _, p := range pairs[:len(pairs)/2] {
 		want := graph.YenKSP(g, p.Sender, p.Receiver, f.cfg.M)
-		tbl, entry := f.lookupPaths(g, p.Sender, p.Receiver)
+		tbl, entry := f.lookupPaths(g, p.Sender, p.Receiver, 1)
 		if entry == nil {
 			t.Fatalf("pair %v missing after Prewarm", p)
 		}

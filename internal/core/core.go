@@ -52,7 +52,8 @@ type Config struct {
 	// Threshold separates mice from elephants: payments with amount
 	// strictly greater are elephants. The paper sets it per workload so
 	// that 90% of payments are mice (§4.1). math.Inf(1) routes everything
-	// as mice; 0 routes everything as elephants.
+	// as mice; 0 routes everything as elephants. Flash.SetThreshold can
+	// re-calibrate the live value mid-run when the workload drifts.
 	Threshold float64
 
 	// K is the maximum number of candidate paths the elephant routing
@@ -127,6 +128,13 @@ func DefaultConfig(threshold float64) Config {
 type Flash struct {
 	cfg Config
 
+	// threshold is the live elephant classification boundary
+	// (math.Float64bits-encoded): Config.Threshold seeds it, and
+	// SetThreshold may re-calibrate it mid-run while payments route
+	// concurrently, so the hot-path read in isElephant is an atomic
+	// load rather than a field of cfg.
+	threshold atomic.Uint64
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -139,6 +147,7 @@ type Flash struct {
 	tableMisses        atomic.Int64
 	pathsReplaced      atomic.Int64
 	tableInvalidations atomic.Int64
+	thresholdUpdates   atomic.Int64
 }
 
 // New returns a Flash router with the given configuration. Invalid
@@ -154,18 +163,75 @@ func New(cfg Config) *Flash {
 	if cfg.ProbeWorkers < 1 {
 		cfg.ProbeWorkers = 1
 	}
-	return &Flash{
+	f := &Flash{
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		tables: make(map[topo.NodeID]*routingTable),
 	}
+	f.threshold.Store(math.Float64bits(cfg.Threshold))
+	return f
 }
 
 // Name implements route.Router.
 func (f *Flash) Name() string { return "Flash" }
 
-// Config returns the router's configuration.
-func (f *Flash) Config() Config { return f.cfg }
+// Config returns the router's configuration. Threshold reflects the
+// live classification boundary, which SetThreshold may have moved away
+// from the constructed value.
+func (f *Flash) Config() Config {
+	cfg := f.cfg
+	cfg.Threshold = f.Threshold()
+	return cfg
+}
+
+// Threshold returns the current elephant classification threshold.
+func (f *Flash) Threshold() float64 {
+	return math.Float64frombits(f.threshold.Load())
+}
+
+// SetThreshold swaps the elephant classification threshold — the
+// adaptive re-calibration hook for workloads whose size distribution
+// drifts (the paper sets the threshold "per workload" so ~90% of
+// payments are mice; under a demand shift that quantile moves, and a
+// pinned threshold silently misclassifies the whole post-shift
+// stream). Safe concurrently with routing: in-flight payments classify
+// against whichever value they loaded, exactly as a gossiped
+// re-calibration would propagate.
+//
+// Lowering the threshold also invalidates the now-misclassified
+// routing-table entries: an entry whose observed traffic exceeds the
+// new threshold was serving payments that are elephants from here on,
+// so the cached mice paths are dead weight — dropping them keeps the
+// table (and its TTL clock) tracking genuine mice traffic. Raising the
+// threshold drops nothing: cached entries only ever served amounts
+// below the old threshold, which remain mice. Dropped entries count
+// towards Stats.TableInvalidations; the swap itself towards
+// Stats.ThresholdUpdates. Returns the number of entries dropped.
+func (f *Flash) SetThreshold(t float64) int {
+	old := math.Float64frombits(f.threshold.Swap(math.Float64bits(t)))
+	if t == old {
+		return 0
+	}
+	f.thresholdUpdates.Add(1)
+	if t >= old {
+		return 0
+	}
+	dropped := 0
+	f.tablesMu.RLock()
+	for _, tbl := range f.tables {
+		tbl.mu.Lock()
+		for receiver, e := range tbl.entries {
+			if e.maxAmount > t {
+				delete(tbl.entries, receiver)
+				dropped++
+			}
+		}
+		tbl.mu.Unlock()
+	}
+	f.tablesMu.RUnlock()
+	f.tableInvalidations.Add(int64(dropped))
+	return dropped
+}
 
 // Route implements route.Router: it classifies the payment and
 // dispatches to the elephant or mice algorithm, always finishing the
@@ -179,9 +245,9 @@ func (f *Flash) Route(s route.Session) error {
 	return f.routeMice(s)
 }
 
-// isElephant classifies a payment amount.
+// isElephant classifies a payment amount against the live threshold.
 func (f *Flash) isElephant(amount float64) bool {
-	return amount > f.cfg.Threshold
+	return amount > f.Threshold()
 }
 
 // Refresh drops all routing tables, as happens when the gossip layer
@@ -292,7 +358,8 @@ type Stats struct {
 	TableHits          int64 // mice payments whose receiver was cached
 	TableMisses        int64 // mice payments requiring a Yen computation
 	PathsReplaced      int64 // dead table paths replaced by the next Yen path
-	TableInvalidations int64 // entries dropped by InvalidateChannel (churn)
+	TableInvalidations int64 // entries dropped by InvalidateChannel (churn) or SetThreshold
+	ThresholdUpdates   int64 // SetThreshold calls that changed the threshold
 	TableEntries       int   // receivers currently cached across all senders
 }
 
@@ -313,14 +380,16 @@ func (f *Flash) Stats() Stats {
 		TableMisses:        f.tableMisses.Load(),
 		PathsReplaced:      f.pathsReplaced.Load(),
 		TableInvalidations: f.tableInvalidations.Load(),
+		ThresholdUpdates:   f.thresholdUpdates.Load(),
 		TableEntries:       entries,
 	}
 }
 
-// String describes the router and its parameters.
+// String describes the router and its parameters (threshold is the
+// live value).
 func (f *Flash) String() string {
 	return fmt.Sprintf("Flash(k=%d, m=%d, threshold=%g, feeOpt=%v)",
-		f.cfg.K, f.cfg.M, f.cfg.Threshold, !f.cfg.DisableFeeOpt)
+		f.cfg.K, f.cfg.M, f.Threshold(), !f.cfg.DisableFeeOpt)
 }
 
 // ThresholdForMiceFraction returns the elephant threshold that makes the

@@ -40,6 +40,13 @@ type tableEntry struct {
 	all        [][]topo.NodeID // extended Yen list, nil until first needed
 	cursor     int             // rotation position within all
 	lastAccess int
+
+	// maxAmount is the largest payment this entry ever served — the
+	// classification evidence SetThreshold consults: when the elephant
+	// threshold drops below it, this receiver's recurring traffic is no
+	// longer mice traffic and the entry is invalidated. Prewarmed
+	// entries start at 0 (no traffic observed yet).
+	maxAmount float64
 }
 
 // tableFor returns (creating if needed) the routing table of sender,
@@ -64,10 +71,12 @@ func (f *Flash) tableFor(sender topo.NodeID) *routingTable {
 // lookupPaths returns the sender's table and the cached entry for
 // receiver, computing the top-M Yen shortest paths on a miss ("Upon
 // seeing a new receiver that does not exist in the routing table, the
-// node computes top-m shortest paths"). It also advances the TTL clock
-// and evicts stale entries. The Yen computation runs under the sender's
-// table lock, which blocks only that sender's other payments.
-func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID) (*routingTable, *tableEntry) {
+// node computes top-m shortest paths"). It also advances the TTL clock,
+// evicts stale entries, and records amount as classification evidence
+// for adaptive threshold swaps (see tableEntry.maxAmount). The Yen
+// computation runs under the sender's table lock, which blocks only
+// that sender's other payments.
+func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID, amount float64) (*routingTable, *tableEntry) {
 	t := f.tableFor(sender)
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -81,6 +90,9 @@ func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID) (*routi
 	}
 	if e, ok := t.entries[receiver]; ok {
 		e.lastAccess = t.clock
+		if amount > e.maxAmount {
+			e.maxAmount = amount
+		}
 		f.tableHits.Add(1)
 		return t, e
 	}
@@ -91,6 +103,7 @@ func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID) (*routi
 	e := &tableEntry{
 		paths:      graph.YenKSP(g, sender, receiver, f.cfg.M),
 		lastAccess: t.clock,
+		maxAmount:  amount,
 	}
 	t.entries[receiver] = e
 	return t, e
@@ -161,7 +174,7 @@ func containsPath(set [][]topo.NodeID, p []topo.NodeID) bool {
 // effective capacity.
 func (f *Flash) routeMice(s route.Session) error {
 	g := s.Graph()
-	tbl, entry := f.lookupPaths(g, s.Sender(), s.Receiver())
+	tbl, entry := f.lookupPaths(g, s.Sender(), s.Receiver(), s.Demand())
 	order := f.pathOrder(s, tbl, entry)
 	if len(order) == 0 {
 		if err := s.Abort(); err != nil {

@@ -51,9 +51,17 @@ const (
 	// DemandShift rescales the workload's payment amounts from this
 	// instant on.
 	DemandShift
+	// FeeShift rescales a channel's fee schedules (both directions) by
+	// a factor — a node repricing its channels mid-run (a fee war).
+	FeeShift
+	// ThresholdUpdate records an adaptive elephant-threshold
+	// re-calibration: the engine's rolling quantile estimator swapped
+	// (or re-confirmed) the router's classification threshold. Emitted
+	// by the engine itself, never by churn schedules.
+	ThresholdUpdate
 
 	// NumKinds is the number of event kinds (for per-kind counters).
-	NumKinds = int(DemandShift) + 1
+	NumKinds = int(ThresholdUpdate) + 1
 )
 
 // String names the kind for logs and tables.
@@ -71,6 +79,10 @@ func (k Kind) String() string {
 		return "rebalance"
 	case DemandShift:
 		return "demand-shift"
+	case FeeShift:
+		return "fee-shift"
+	case ThresholdUpdate:
+		return "threshold-update"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -85,6 +97,11 @@ func (k Kind) String() string {
 //     endpoints; for ChannelOpen, Amount > 0 funds each direction with
 //     that balance (0 keeps the frozen balances).
 //   - DemandShift: Amount is the new payment-amount scale factor.
+//   - FeeShift: A and B are the channel endpoints, Amount the factor
+//     both directions' fee schedules are multiplied by.
+//   - ThresholdUpdate: Amount is the effective elephant threshold
+//     after the re-calibration (stamped by the engine when applied, so
+//     the log fingerprint covers the adaptive trajectory).
 type Event struct {
 	Time float64 // virtual seconds
 	Seq  uint64  // stamped by Queue.Schedule; total-order tie-break
@@ -101,10 +118,12 @@ func (e Event) String() string {
 	switch e.Kind {
 	case PaymentArrival, PaymentComplete:
 		return fmt.Sprintf("t=%.6f %s id=%d try=%d", e.Time, e.Kind, e.ID, e.Attempt)
-	case ChannelOpen, ChannelClose, Rebalance:
+	case ChannelOpen, ChannelClose, Rebalance, FeeShift:
 		return fmt.Sprintf("t=%.6f %s %d-%d amt=%g", e.Time, e.Kind, e.A, e.B, e.Amount)
 	case DemandShift:
 		return fmt.Sprintf("t=%.6f %s factor=%g", e.Time, e.Kind, e.Amount)
+	case ThresholdUpdate:
+		return fmt.Sprintf("t=%.6f %s thr=%g", e.Time, e.Kind, e.Amount)
 	default:
 		return fmt.Sprintf("t=%.6f %s", e.Time, e.Kind)
 	}

@@ -21,19 +21,23 @@ func (o Options) dynamicShape() (duration, rate float64) {
 }
 
 // Dynamic runs the dynamic-scenario catalogue — steady-state,
-// flash-crowd, channel-depletion-with-rebalance, and churn — over the
-// Ripple-like topology and reports, per scheme, the aggregate success
-// ratio and volume plus the worst and best time-series window, the
-// time-resolved view no static figure can show. Scenario cells are
-// independent and run on the Options.Workers pool; output order is
-// fixed and, like every figure, deterministic in the seed.
+// flash-crowd, channel-depletion-with-rebalance, churn, contention,
+// hub-failure, demand-drift and fee-war — over the Ripple-like
+// topology and reports, per scheme, the aggregate success ratio and
+// volume plus the worst and best time-series window, the time-resolved
+// view no static figure can show. The adaptive-threshold column shows
+// the number of elephant-threshold re-calibrations and the final
+// effective threshold for adapting cells ("-" for fixed-threshold
+// cells). Scenario cells are independent and run on the
+// Options.Workers pool; output order is fixed and, like every figure,
+// deterministic in the seed.
 func Dynamic(o Options) error {
 	o.header("Dynamic scenarios", "discrete-event engine: arrivals, churn, rebalancing")
 	duration, rate := o.dynamicShape()
 	schemes := []string{sim.SchemeFlash, sim.SchemeSpider, sim.SchemeShortestPath}
 
 	names := sim.DynamicScenarioNames
-	w := o.table("scenario\tscheme\tsucc.ratio\tsucc.volume\twindow min..max\tchurn(open/close/rebal)")
+	w := o.table("scenario\tscheme\tsucc.ratio\tsucc.volume\twindow min..max\tchurn(open/close/rebal)\tadaptive thr")
 	rows, err := o.runCells(len(names), func(i int) (string, error) {
 		sc, err := sim.NamedDynamicScenario(names[i], sim.KindRipple, o.rippleNodes())
 		if err != nil {
@@ -43,6 +47,7 @@ func Dynamic(o Options) error {
 		sc.Rate = rate
 		sc.Schemes = schemes
 		sc.ProbeWorkers = o.ProbeWorkers
+		sc.AdaptiveThreshold = sc.AdaptiveThreshold || o.AdaptiveThreshold
 		sc.Seed = o.seed()
 		results, err := sim.RunDynamicScenario(sc)
 		if err != nil {
@@ -53,10 +58,14 @@ func Dynamic(o Options) error {
 			agg := r.Result.Aggregate
 			lo, hi := windowRange(r.Result)
 			c := r.Result.EventCounts
-			fmt.Fprintf(&b, "%s\t%s\t%.1f%%\t%.4g\t%.0f%%..%.0f%%\t%d/%d/%d\n",
+			thr := "-"
+			if sc.AdaptiveThreshold && r.Scheme == sim.SchemeFlash {
+				thr = fmt.Sprintf("%d upd, final %.4g", r.Result.ThresholdUpdates, r.Result.FinalThreshold)
+			}
+			fmt.Fprintf(&b, "%s\t%s\t%.1f%%\t%.4g\t%.0f%%..%.0f%%\t%d/%d/%d\t%s\n",
 				names[i], r.Scheme, 100*agg.SuccessRatio(), agg.SuccessVolume,
 				100*lo, 100*hi,
-				c[event.ChannelOpen], c[event.ChannelClose], c[event.Rebalance])
+				c[event.ChannelOpen], c[event.ChannelClose], c[event.Rebalance], thr)
 		}
 		return b.String(), nil
 	})

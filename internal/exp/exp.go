@@ -43,6 +43,13 @@ type Options struct {
 	// with; > 1 trades extra probe messages for lower per-elephant
 	// latency. Tables stay deterministic for a fixed value.
 	ProbeWorkers int
+
+	// AdaptiveThreshold forces the rolling-quantile adaptive elephant
+	// threshold on in every dynamic-scenario cell
+	// (sim.DynamicScenario.AdaptiveThreshold). Off, only the scenarios
+	// whose catalogue preset enables it (demand-drift) adapt. Tables
+	// stay deterministic either way.
+	AdaptiveThreshold bool
 }
 
 // scenario builds the base experiment cell for a kind, applying the

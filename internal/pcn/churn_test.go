@@ -276,3 +276,32 @@ func TestChurnConcurrentWithPayments(t *testing.T) {
 		t.Errorf("funds not conserved under churn: %v -> %v", before, after)
 	}
 }
+
+// TestScaleFee: the fee-war hook multiplies both directions' schedules
+// and rejects degenerate factors.
+func TestScaleFee(t *testing.T) {
+	n := lineNet(t)
+	if err := n.SetFee(0, 1, FeeSchedule{Base: 2, Rate: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetFee(1, 0, FeeSchedule{Base: 1, Rate: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ScaleFee(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Fee(0, 1); got.Base != 10 || got.Rate != 0.05 {
+		t.Errorf("forward fee after scale = %+v", got)
+	}
+	if got := n.Fee(1, 0); got.Base != 5 || math.Abs(got.Rate-0.1) > 1e-12 {
+		t.Errorf("reverse fee after scale = %+v", got)
+	}
+	for _, factor := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := n.ScaleFee(0, 1, factor); err == nil {
+			t.Errorf("factor %v accepted", factor)
+		}
+	}
+	if err := n.ScaleFee(0, 3, 2); err == nil {
+		t.Error("nonexistent channel accepted")
+	}
+}

@@ -167,6 +167,32 @@ func (n *Network) SetFee(u, v topo.NodeID, fee FeeSchedule) error {
 	return nil
 }
 
+// ScaleFee multiplies both directions' fee schedules (base and rate)
+// of the channel joining u and v by factor — the fee-war churn hook: a
+// node repricing its channels mid-run. factor must be positive and
+// finite (a zero or negative factor would erase or invert the fee
+// model). Safe concurrently with payments: the update happens under
+// the channel's own lock, and in-flight probes simply observe either
+// the old or the new schedule, exactly as a gossiped fee update would
+// propagate.
+func (n *Network) ScaleFee(u, v topo.NodeID, factor float64) error {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor <= 0 {
+		return fmt.Errorf("pcn: fee scale factor for channel %d-%d must be positive and finite, got %v", u, v, factor)
+	}
+	idx, _, err := n.dir(u, v)
+	if err != nil {
+		return err
+	}
+	ch := &n.chans[idx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	for d := range ch.fee {
+		ch.fee[d].Base *= factor
+		ch.fee[d].Rate *= factor
+	}
+	return nil
+}
+
 // RegisterChannel extends the topology with a latent channel between u
 // and v: the edge joins the graph, and a closed, unfunded channel slot
 // is appended for it. Latent channels are how a dynamic scenario

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/core"
@@ -63,15 +64,62 @@ type DynamicOptions struct {
 	// there surface after the service time, like any station model.)
 	Service float64
 
+	// AdaptiveThreshold enables the rolling-quantile adaptive elephant
+	// threshold: every first-attempt arrival amount feeds a streaming
+	// P² quantile estimator (stats.QuantileEstimator), and on a
+	// ThresholdWindow cadence the engine re-calibrates the router's
+	// classification threshold to the estimator's MiceFraction-quantile
+	// via core.Flash.SetThreshold — the paper's "set per workload"
+	// calibration (§4.1), kept true under demand drift instead of
+	// pinned at t = 0. Only Flash routers adapt; the option is a no-op
+	// for every other scheme. Off — the default — leaves the engine
+	// byte-identical to the historical behaviour; on with Workers ≤ 1
+	// it stays fully deterministic (the estimator is a pure function of
+	// the arrival sequence, and every ThresholdUpdate is stamped into
+	// the event-log fingerprint with its effective threshold).
+	AdaptiveThreshold bool
+
+	// ThresholdWindow is the adaptive re-calibration cadence in virtual
+	// seconds; 0 defaults to the time-series Window. Each boundary that
+	// has seen at least adaptiveMinSamples arrivals since the last swap
+	// re-calibrates and resets the estimator, so the threshold tracks
+	// the current demand regime rather than the whole history (a
+	// rolling quantile); sparser boundaries keep accumulating.
+	ThresholdWindow float64
+
+	// MiceFraction is the workload quantile the adaptive threshold
+	// tracks; 0 (or any value outside (0, 1)) defaults to 0.9, the
+	// paper's 90%-mice calibration. Only consulted when
+	// AdaptiveThreshold is on.
+	MiceFraction float64
+
 	// RecordLog retains the full applied-event log in the result (the
 	// fingerprint and per-kind counts are always available).
 	RecordLog bool
 }
 
-// Window is one time-series bucket of a dynamic run.
+// adaptiveMinSamples is the fewest arrivals a re-calibration boundary
+// must have seen before the adaptive threshold swaps: below it the
+// quantile estimate is noise, so the boundary keeps accumulating
+// instead.
+const adaptiveMinSamples = 20
+
+// Window is one time-series bucket of a dynamic run. The final
+// window's End is clamped to the run horizon: payments still in flight
+// at the horizon (service times, retry backoffs) drain into it rather
+// than growing the series past the horizon.
 type Window struct {
 	Start, End float64 // virtual seconds
-	Metrics    Metrics
+
+	// Threshold is the effective elephant classification threshold as
+	// of the last re-calibration that touched this window (its value at
+	// creation until one lands inside it) — constant at the calibrated
+	// value unless DynamicOptions.AdaptiveThreshold re-calibrates it
+	// mid-run, in which case the column shows the drift the router
+	// tracked.
+	Threshold float64
+
+	Metrics Metrics
 }
 
 // DynamicResult is the outcome of a dynamic run: the familiar
@@ -89,6 +137,13 @@ type DynamicResult struct {
 	// into an abort because a held channel closed mid-span (hold-span
 	// mode only; see DynamicOptions.Service).
 	SpanAborts int
+
+	// ThresholdUpdates counts adaptive re-calibrations that actually
+	// moved the router's elephant threshold, and FinalThreshold is the
+	// effective threshold when the run ended (the initial routing
+	// threshold when the adaptive mode is off or never re-calibrated).
+	ThresholdUpdates int
+	FinalThreshold   float64
 }
 
 // WindowRatios renders the per-window success ratios (for quick
@@ -129,7 +184,11 @@ type routeResult struct {
 // ChannelOpen reopens it, funding each direction with the event's
 // Amount when positive; Rebalance evens a channel's directions;
 // DemandShift rescales the source's payment amounts when the source
-// supports it (trace.Stream does).
+// supports it (trace.Stream does), including the engine's one
+// look-ahead arrival already sampled under the old scale; FeeShift
+// rescales a channel's fee schedules. Shift factors are validated at
+// schedule-ingest time (positive and finite), so a typo'd factor fails
+// loudly instead of no-opping.
 //
 // With Workers ≤ 1, Service = 0 and arrivals pinned to an existing
 // trace (trace.NewReplayStream), the aggregate metrics reproduce
@@ -184,12 +243,20 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 
 	for _, e := range churn {
 		switch e.Kind {
-		case event.ChannelOpen, event.ChannelClose, event.Rebalance, event.DemandShift:
-			if e.Time < horizon {
-				queue.Schedule(e)
+		case event.ChannelOpen, event.ChannelClose, event.Rebalance:
+		case event.DemandShift, event.FeeShift:
+			// A zero (or NaN/∞/negative) shift factor would no-op or
+			// corrupt silently — Generator.SetAmountScale ignores
+			// non-positive factors — so reject it here at schedule-ingest
+			// time, mirroring ArrivalProcess.Validate.
+			if err := validShiftFactor(e.Kind, e.Amount); err != nil {
+				return res, err
 			}
 		default:
 			return res, fmt.Errorf("sim: churn schedule contains %v event", e.Kind)
+		}
+		if e.Time < horizon {
+			queue.Schedule(e)
 		}
 	}
 
@@ -199,12 +266,48 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 		waitQ []int64 // payment IDs awaiting a free station, FIFO
 	)
 
+	// The engine's current routing threshold: the router's own value
+	// for Flash (the adaptive mode moves it), the metrics threshold
+	// otherwise. Reported per window and as FinalThreshold.
+	curThreshold := miceThreshold
+	if fl != nil {
+		curThreshold = fl.Threshold()
+	}
+
+	// Adaptive elephant threshold (see DynamicOptions.AdaptiveThreshold):
+	// the estimator sees every first-attempt arrival amount; the
+	// ThresholdUpdate chain below re-calibrates on a cadence. Engaged
+	// only for Flash — no other scheme owns a threshold.
+	adaptive := opts.AdaptiveThreshold && fl != nil
+	var est *stats.QuantileEstimator
+	thrWindow := opts.ThresholdWindow
+	if thrWindow <= 0 {
+		thrWindow = window
+	}
+	if adaptive {
+		frac := opts.MiceFraction
+		if frac <= 0 || frac >= 1 {
+			frac = 0.9
+		}
+		est = stats.NewQuantileEstimator(frac)
+		if thrWindow < horizon {
+			queue.Schedule(event.Event{Time: thrWindow, Kind: event.ThresholdUpdate})
+		}
+	}
+
 	// pullArrival schedules the source's next arrival, if it falls
 	// inside the horizon. Exactly one future first-attempt arrival is
 	// pending at any time, which keeps the heap small and the source
-	// lazy. Degenerate payments are skipped here, like in RunOpts.
+	// lazy — and makes that one look-ahead payment the only arrival
+	// sampled before a demand shift it postdates; the DemandShift
+	// handler rescales it (tracking curScale) so the first post-shift
+	// payment carries a post-shift amount. Degenerate payments are
+	// skipped here, like in RunOpts.
 	srcDone := false
+	curScale := 1.0
+	var lookahead *dynPayment
 	pullArrival := func() {
+		lookahead = nil
 		for !srcDone {
 			p, at, ok := src.Next()
 			if !ok || at >= horizon {
@@ -214,7 +317,9 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 			if p.Sender == p.Receiver || p.Amount <= 0 {
 				continue
 			}
-			pending[int64(p.ID)] = &dynPayment{p: p}
+			dp := &dynPayment{p: p}
+			pending[int64(p.ID)] = dp
+			lookahead = dp
 			queue.Schedule(event.Event{Time: at, Kind: event.PaymentArrival, ID: int64(p.ID)})
 			return
 		}
@@ -264,27 +369,82 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 		})
 	}
 
+	// windowFor returns the time-series bucket containing t. The series
+	// never extends past the horizon: completion events may land at
+	// t ≥ horizon (service times and retry backoffs outlive the last
+	// arrival), and those drain into the final window, whose End is
+	// clamped to the horizon. lastWindow is the index of the last
+	// bucket whose Start lies strictly inside the horizon — the Ceil
+	// can overcount by one when horizon/window carries float error
+	// (e.g. 9/0.009), which would otherwise append a phantom
+	// zero-width bucket at the horizon.
+	lastWindow := int(math.Ceil(horizon/window)) - 1
+	if lastWindow > 0 && float64(lastWindow)*window >= horizon {
+		lastWindow--
+	}
 	windowFor := func(t float64) *Window {
 		idx := int(t / window)
+		if idx > lastWindow {
+			idx = lastWindow
+		}
 		for len(res.Windows) <= idx {
 			start := float64(len(res.Windows)) * window
-			res.Windows = append(res.Windows, Window{Start: start, End: start + window})
+			end := start + window
+			if end > horizon {
+				end = horizon
+			}
+			res.Windows = append(res.Windows, Window{Start: start, End: end, Threshold: curThreshold})
 		}
 		return &res.Windows[idx]
+	}
+
+	// applyThresholdUpdate is the adaptive re-calibration: when the
+	// estimator has seen enough of the current regime, swap the
+	// router's threshold to its quantile and reset it (the rolling
+	// behaviour); otherwise keep accumulating. Returns the effective
+	// threshold, which the caller stamps into the logged event so the
+	// fingerprint covers the adaptive trajectory.
+	applyThresholdUpdate := func(t float64) float64 {
+		// Materialise the bucket (and any earlier ones) before the swap,
+		// so windows that closed under the old threshold report it.
+		w := windowFor(t)
+		if est.Count() >= adaptiveMinSamples {
+			if thr := est.Quantile(); thr != curThreshold {
+				fl.SetThreshold(thr)
+				curThreshold = thr
+				res.ThresholdUpdates++
+			}
+			est.Reset()
+		}
+		w.Threshold = curThreshold
+		if next := t + thrWindow; next < horizon {
+			queue.Schedule(event.Event{Time: next, Kind: event.ThresholdUpdate})
+		}
+		return curThreshold
 	}
 
 	pullArrival()
 	for queue.Len() > 0 {
 		e, _ := queue.Pop()
 		clock.AdvanceTo(e.Time)
+		if e.Kind == event.ThresholdUpdate {
+			// Applied before recording so the log entry (and the
+			// fingerprint) carries the effective threshold.
+			e.Amount = applyThresholdUpdate(e.Time)
+			log.Record(e)
+			continue
+		}
 		log.Record(e)
 
 		switch e.Kind {
 		case event.PaymentArrival:
+			dp := pending[e.ID]
 			if e.Attempt == 0 {
 				pullArrival()
+				if est != nil {
+					est.Add(dp.p.Amount)
+				}
 			}
-			dp := pending[e.ID]
 			dp.attempt = e.Attempt
 			// With hold spans the deterministic single station never
 			// queues: routing is instantaneous in virtual time, and a
@@ -326,6 +486,7 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 				}
 			}
 			if result.err != nil {
+				res.FinalThreshold = curThreshold
 				res.finishLog(&log)
 				return res, result.err
 			}
@@ -380,14 +541,41 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 				return res, fmt.Errorf("sim: churn rebalance: %w", err)
 			}
 
+		case event.FeeShift:
+			if err := net.ScaleFee(e.A, e.B, e.Amount); err != nil {
+				return res, fmt.Errorf("sim: churn fee shift: %w", err)
+			}
+
 		case event.DemandShift:
 			if sh, ok := src.(interface{ SetAmountScale(float64) }); ok {
 				sh.SetAmountScale(e.Amount)
+				// The one look-ahead arrival was sampled under the old
+				// scale but arrives after the shift; rescale it so the
+				// first post-shift payment carries a post-shift amount.
+				// (Sources that don't scale — trace replays — keep their
+				// recorded amounts, and so does their look-ahead.)
+				if lookahead != nil {
+					lookahead.p.Amount *= e.Amount / curScale
+				}
+				curScale = e.Amount
 			}
 		}
 	}
+	res.FinalThreshold = curThreshold
 	res.finishLog(&log)
 	return res, nil
+}
+
+// validShiftFactor rejects shift factors that would silently no-op or
+// corrupt the run (Generator.SetAmountScale ignores factors ≤ 0, and a
+// non-finite fee factor would poison every subsequent fee), mirroring
+// the ArrivalProcess.Validate pattern: misconfiguration surfaces as an
+// error at schedule-ingest time, not as a silently wrong result.
+func validShiftFactor(kind event.Kind, factor float64) error {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor <= 0 {
+		return fmt.Errorf("sim: %v factor must be positive and finite, got %v", kind, factor)
+	}
+	return nil
 }
 
 // finishLog copies the applied-event log's evidence into the result.
@@ -449,6 +637,22 @@ type DynamicScenario struct {
 	DemandShiftFactor float64
 	DemandShiftFrac   float64
 
+	// FeeShiftFactor, when positive, multiplies the fee schedules of
+	// every channel of the top-degree node by this factor at
+	// FeeShiftFrac · Duration — the fee-war scenario: the network's
+	// busiest hub repricing mid-run. Fee-sensitive routing (Flash's LP)
+	// shifts volume around the hub; fee-blind schemes pay up.
+	FeeShiftFactor float64
+	FeeShiftFrac   float64
+
+	// AdaptiveThreshold re-calibrates Flash's elephant threshold on a
+	// rolling ThresholdWindow cadence so the mice/elephant split tracks
+	// demand drift (DynamicOptions.AdaptiveThreshold; the scenario's
+	// MiceFraction is the tracked quantile). ThresholdWindow 0 defaults
+	// to the time-series window.
+	AdaptiveThreshold bool
+	ThresholdWindow   float64
+
 	// FlashK/FlashM override Flash's path counts when > 0 (FlashMSet
 	// forces FlashM through even at zero), mirroring Scenario.
 	FlashK    int
@@ -480,7 +684,7 @@ const FixtureBarbell = "barbell"
 
 // DynamicScenarioNames lists the scenario catalogue in presentation
 // order.
-var DynamicScenarioNames = []string{"steady", "flash-crowd", "depletion-rebalance", "churn", "contention", "hub-failure"}
+var DynamicScenarioNames = []string{"steady", "flash-crowd", "depletion-rebalance", "churn", "contention", "hub-failure", "demand-drift", "fee-war"}
 
 // NamedDynamicScenario returns a catalogue scenario over the given
 // topology:
@@ -502,6 +706,17 @@ var DynamicScenarioNames = []string{"steady", "flash-crowd", "depletion-rebalanc
 //     channel of the top-degree node closes mid-run; payments
 //     suspended across the failure abort, and the success rate drops
 //     with the hub gone.
+//   - "demand-drift": a 4× downward demand shift mid-run on a tightly
+//     provisioned network, with the adaptive elephant threshold on.
+//     The static-threshold control (-adaptivethreshold=false) keeps
+//     classifying against the stale pre-shift 90th percentile, so the
+//     post-shift top decile routes over m mice paths instead of the
+//     elephant algorithm and its success ratio degrades; the adaptive
+//     run re-calibrates within a threshold window and recovers.
+//   - "fee-war": the top-degree hub multiplies its channel fees 25×
+//     mid-run. Success is largely unaffected (capacity is unchanged)
+//     but the fee ratio jumps in the post-shift windows, least for
+//     fee-optimising schemes.
 func NamedDynamicScenario(name, kind string, nodes int) (DynamicScenario, error) {
 	sc := DynamicScenario{
 		Name:         name,
@@ -544,6 +759,15 @@ func NamedDynamicScenario(name, kind string, nodes int) (DynamicScenario, error)
 		sc.Rate = 25
 		sc.Service = 1.5
 		sc.HubFailureFrac = 0.5
+	case "demand-drift":
+		sc.ScaleFactor = 2 // tight capacity: misrouted elephants actually fail
+		sc.Rate = 25
+		sc.DemandShiftFactor = 0.25
+		sc.DemandShiftFrac = 0.5
+		sc.AdaptiveThreshold = true
+	case "fee-war":
+		sc.FeeShiftFactor = 25
+		sc.FeeShiftFrac = 0.5
 	default:
 		return sc, fmt.Errorf("sim: unknown dynamic scenario %q (have %v)", name, DynamicScenarioNames)
 	}
@@ -654,11 +878,14 @@ func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
 			return nil, err
 		}
 		res, err := RunDynamic(net, r, stream, sc.Duration, churn, threshold, DynamicOptions{
-			Workers: sc.Workers,
-			Seed:    sc.Seed,
-			Retries: sc.Retries,
-			Window:  sc.Window,
-			Service: sc.Service,
+			Workers:           sc.Workers,
+			Seed:              sc.Seed,
+			Retries:           sc.Retries,
+			Window:            sc.Window,
+			Service:           sc.Service,
+			AdaptiveThreshold: sc.AdaptiveThreshold,
+			ThresholdWindow:   sc.ThresholdWindow,
+			MiceFraction:      sc.MiceFraction,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", scheme, err)
@@ -855,6 +1082,23 @@ func buildChurnSchedule(sc DynamicScenario, net *pcn.Network, latent []topo.Edge
 		for _, e := range g.Channels() {
 			if e.A == hub || e.B == hub {
 				events = append(events, event.Event{Time: at, Kind: event.ChannelClose, A: e.A, B: e.B})
+			}
+		}
+	}
+
+	// Fee war: the top-degree hub reprices every one of its channels at
+	// the configured instant. Like the hub failure, this consumes no
+	// randomness.
+	if sc.FeeShiftFactor > 0 {
+		frac := sc.FeeShiftFrac
+		if frac <= 0 || frac >= 1 {
+			frac = 0.5
+		}
+		hub := topDegreeNode(g)
+		at := sc.Duration * frac
+		for _, e := range g.Channels() {
+			if e.A == hub || e.B == hub {
+				events = append(events, event.Event{Time: at, Kind: event.FeeShift, A: e.A, B: e.B, Amount: sc.FeeShiftFactor})
 			}
 		}
 	}

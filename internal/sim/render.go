@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/event"
+)
+
+// WriteDynamicResult renders one scheme's dynamic run — the per-window
+// time series, the aggregate row, and the event/fingerprint footer —
+// exactly as cmd/flashsim prints it. Sharing the renderer between the
+// CLI and the test suite lets the determinism tests pin the CLI-level
+// byte contract (same seed ⇒ identical bytes, fingerprint included)
+// without shelling out to a built binary.
+//
+// showThreshold adds the effective-elephant-threshold column and the
+// threshold-update footer — the adaptive-threshold view; off, the
+// output shape matches the historical fixed-threshold rendering.
+func WriteDynamicResult(out io.Writer, scheme string, res DynamicResult, showThreshold bool) {
+	fmt.Fprintf(out, "== %s ==\n", scheme)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	cols := "window\tpayments\tsucc.ratio\tsucc.volume\tprobe msgs\tfee ratio"
+	if showThreshold {
+		cols += "\teff.thr"
+	}
+	fmt.Fprintln(w, cols)
+	for _, win := range res.Windows {
+		fmt.Fprintf(w, "[%gs,%gs)\t%d\t%.1f%%\t%.4g\t%d\t%.3f%%",
+			win.Start, win.End, win.Metrics.Payments,
+			100*win.Metrics.SuccessRatio(), win.Metrics.SuccessVolume,
+			win.Metrics.ProbeMessages, 100*win.Metrics.FeeRatio())
+		if showThreshold {
+			fmt.Fprintf(w, "\t%.4g", win.Threshold)
+		}
+		fmt.Fprintln(w)
+	}
+	agg := res.Aggregate
+	fmt.Fprintf(w, "aggregate\t%d\t%.1f%%\t%.4g\t%d\t%.3f%%",
+		agg.Payments, 100*agg.SuccessRatio(), agg.SuccessVolume,
+		agg.ProbeMessages, 100*agg.FeeRatio())
+	if showThreshold {
+		fmt.Fprintf(w, "\t%.4g", res.FinalThreshold)
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+	c := res.EventCounts
+	fmt.Fprintf(out, "events: %d arrivals (%d completions), %d open, %d close, %d rebalance, %d demand-shift, %d fee-shift; span aborts %d",
+		c[event.PaymentArrival], c[event.PaymentComplete], c[event.ChannelOpen],
+		c[event.ChannelClose], c[event.Rebalance], c[event.DemandShift], c[event.FeeShift], res.SpanAborts)
+	if showThreshold {
+		fmt.Fprintf(out, "; threshold updates %d (final %.4g)", res.ThresholdUpdates, res.FinalThreshold)
+	}
+	fmt.Fprintf(out, "; fingerprint %016x\n", res.Fingerprint)
+}
