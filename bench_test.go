@@ -369,6 +369,49 @@ func BenchmarkDynamicEngine(b *testing.B) {
 			})
 		}
 	}
+
+	// Scale axis: the snapshot-scale configuration — Flash routing over
+	// Ripple-like graphs of 1k/10k/100k nodes with light churn and
+	// LRU-bounded routing tables. The 10k cell is the scale benchmark's
+	// reference point (BENCH_scale.json in CI); the 100k cell runs a
+	// reduced payment count so one iteration stays CI-sized, and mainly
+	// guards peak memory (CSR adjacency + flat probe state + bounded
+	// tables keep a 100k-node run within single-digit-GB RSS).
+	for _, nodes := range []int{1000, 10000, 100000} {
+		const rate = 1000
+		payments := 10000
+		if nodes == 100000 {
+			payments = 2000
+		}
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			sc := flash.DynamicScenario{
+				Name:          "bench-scale",
+				Kind:          "ripple",
+				Nodes:         nodes,
+				ScaleFactor:   10,
+				Duration:      float64(payments) / rate,
+				Rate:          rate,
+				ChurnRate:     1,
+				RebalanceRate: 1,
+				TableCap:      4096,
+				Schemes:       []string{flash.SchemeFlash},
+				Seed:          1,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			totalEvents := 0
+			for i := 0; i < b.N; i++ {
+				results, err := flash.RunDynamicScenario(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range results[0].Result.EventCounts {
+					totalEvents += c
+				}
+			}
+			b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
 }
 
 // BenchmarkAdaptiveThreshold measures the rolling-quantile adaptive

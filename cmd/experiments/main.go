@@ -26,10 +26,11 @@ func main() {
 		workers     = flag.Int("workers", 0, "goroutines for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
 		probeW      = flag.Int("probeworkers", 1, "Flash per-session probe pool: probe N speculative elephant candidate paths concurrently (1 = sequential Algorithm 1)")
 		adaptiveThr = flag.Bool("adaptivethreshold", false, "re-calibrate Flash's elephant threshold on a rolling quantile in every dynamic-scenario cell")
+		topology    = flag.String("topology", "", "snapshot file (LN graph JSON or capacity edge list) replacing every figure's generated topology")
 	)
 	flag.Parse()
 
-	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout, Workers: *workers, ProbeWorkers: *probeW, AdaptiveThreshold: *adaptiveThr}
+	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout, Workers: *workers, ProbeWorkers: *probeW, AdaptiveThreshold: *adaptiveThr, Topology: *topology}
 	runners := map[string]func(exp.Options) error{
 		"3":         exp.Fig3,
 		"4":         exp.Fig4,

@@ -46,6 +46,7 @@ import (
 func main() {
 	var (
 		kind     = flag.String("kind", sim.KindRipple, "topology kind: ripple, lightning or testbed")
+		topology = flag.String("topology", "", "snapshot file (LN graph JSON or capacity edge list) replacing the generated -kind topology")
 		nodes    = flag.Int("nodes", 1870, "number of nodes")
 		txns     = flag.Int("txns", 2000, "number of transactions (static mode)")
 		scale    = flag.Float64("scale", 10, "capacity scale factor")
@@ -61,6 +62,7 @@ func main() {
 		parallel = flag.Bool("parallelschemes", false, "run the schemes of each repetition concurrently on identically-seeded networks")
 		retries  = flag.Int("retries", 0, "re-route failed payments up to N extra times with jittered backoff")
 		probeW   = flag.Int("probeworkers", 1, "Flash per-session probe pool: probe N speculative elephant candidate paths concurrently (1 = sequential Algorithm 1)")
+		tableCap = flag.Int("tablecap", 0, "bound each sender's mice routing table to N receiver entries, LRU-evicted (0 = unbounded)")
 
 		dynamic   = flag.Bool("dynamic", false, "discrete-event dynamic mode: virtual time, arrival process, churn")
 		scenario  = flag.String("scenario", "", "dynamic scenario preset: "+strings.Join(sim.DynamicScenarioNames, ", "))
@@ -78,6 +80,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *topology != "" {
+		*kind = sim.KindSnapshotPrefix + *topology
+	}
+
 	conc := *workers
 	if conc == 0 {
 		conc = runtime.GOMAXPROCS(0)
@@ -86,7 +92,7 @@ func main() {
 	if *dynamic || *scenario != "" {
 		runDynamic(*scenario, *kind, *nodes, *scale, *mice, splitList(*schemes), *seed, conc, *retries,
 			*arrival, *rate, *duration, *window, *churn, *rebalance, *latent, *peak, *service,
-			*flashK, *flashM, *probeW, *adaptive, *thrWindow)
+			*flashK, *flashM, *probeW, *tableCap, *adaptive, *thrWindow)
 		return
 	}
 
@@ -106,6 +112,7 @@ func main() {
 		ParallelSchemes: *parallel,
 		Retries:         *retries,
 		ProbeWorkers:    *probeW,
+		TableCap:        *tableCap,
 	}
 	if *flashM >= 0 {
 		sc.FlashM = *flashM
@@ -140,7 +147,7 @@ func main() {
 // identical bytes (workers ≤ 1).
 func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes []string,
 	seed int64, workers, retries int, arrival string, rate, duration, window,
-	churn, rebalance float64, latent int, peak, service float64, flashK, flashM, probeWorkers int,
+	churn, rebalance float64, latent int, peak, service float64, flashK, flashM, probeWorkers, tableCap int,
 	adaptive bool, thrWindow float64) {
 
 	var (
@@ -208,6 +215,7 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 	sc.Workers = workers
 	sc.Retries = retries
 	sc.ProbeWorkers = probeWorkers
+	sc.TableCap = tableCap
 	sc.Seed = seed
 	sc.FlashK = flashK
 	if flashM >= 0 {

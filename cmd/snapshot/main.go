@@ -1,0 +1,156 @@
+// Command snapshot generates, converts and inspects the channel-graph
+// snapshots the simulator can run on (flashsim -topology, experiments
+// -topology). Two on-disk formats are supported, chosen by extension:
+// ".json" is the lnd `describegraph` channel-graph shape, anything
+// else a whitespace-separated "src dst capacity" edge list (the shape
+// Ripple trust-line crawls are distributed in).
+//
+// Usage:
+//
+//	snapshot gen -kind ripple -nodes 10000 -seed 1 -out r10k.edges
+//	snapshot convert -in lngraph.json -out lngraph.edges
+//	snapshot stats -in r10k.edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/topo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "convert":
+		err = runConvert(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "snapshot: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapshot:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  snapshot gen     -kind ripple|lightning|testbed -nodes N [-seed S] -out FILE
+  snapshot convert -in FILE -out FILE
+  snapshot stats   -in FILE
+
+Formats are chosen by extension: .json = LN channel-graph JSON,
+anything else = "src dst capacity" edge list.`)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "ripple", "topology model: ripple, lightning or testbed")
+	nodes := fs.Int("nodes", 1870, "number of nodes")
+	seed := fs.Int64("seed", 1, "random seed (same seed, same snapshot)")
+	out := fs.String("out", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	snap, err := topo.GenerateSyntheticSnapshot(*kind, *nodes, *seed)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshot(*out, snap); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d nodes, %d channels\n", *out, snap.Graph.NumNodes(), snap.Graph.NumChannels())
+	return nil
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input snapshot (required)")
+	out := fs.String("out", "", "output snapshot (required)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert: -in and -out are required")
+	}
+	snap, err := topo.LoadSnapshotFile(*in)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshot(*out, snap); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d nodes, %d channels\n", *out, snap.Graph.NumNodes(), snap.Graph.NumChannels())
+	return nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "input snapshot (required)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("stats: -in is required")
+	}
+	snap, err := topo.LoadSnapshotFile(*in)
+	if err != nil {
+		return err
+	}
+	g := snap.Graph
+	degrees := make([]int, g.NumNodes())
+	for _, e := range g.Channels() {
+		degrees[e.A]++
+		degrees[e.B]++
+	}
+	sort.Ints(degrees)
+	caps := append([]float64(nil), snap.Capacity...)
+	sort.Float64s(caps)
+	total := 0.0
+	for _, c := range caps {
+		total += c
+	}
+	fmt.Printf("nodes       %d\n", g.NumNodes())
+	fmt.Printf("channels    %d\n", g.NumChannels())
+	if n := len(degrees); n > 0 {
+		fmt.Printf("degree      min %d / median %d / max %d\n", degrees[0], degrees[n/2], degrees[n-1])
+	}
+	if n := len(caps); n > 0 {
+		fmt.Printf("capacity    min %g / median %g / max %g / total %g\n", caps[0], caps[n/2], caps[n-1], total)
+	}
+	return nil
+}
+
+// writeSnapshot serialises snap in the format the output extension
+// selects.
+func writeSnapshot(path string, snap *topo.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if isJSON(path) {
+		if err := topo.WriteLNGraphJSON(f, snap); err != nil {
+			return err
+		}
+	} else if err := topo.WriteRippleEdgeList(f, snap); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func isJSON(path string) bool {
+	return len(path) >= 5 && path[len(path)-5:] == ".json"
+}

@@ -88,6 +88,14 @@ type Config struct {
 	// (the paper's timeout mechanism, §3.3). 0 disables eviction.
 	TableTTL int
 
+	// TableCap bounds the number of receiver entries each sender's
+	// routing table may hold; inserting beyond it evicts the
+	// least-recently-used entry (counted in Stats.TableEvictions).
+	// Snapshot-scale networks need the bound — a million senders cannot
+	// each hold an unbounded path cache. 0 (the default) means
+	// unbounded, which replays byte-identically to the uncapped table.
+	TableCap int
+
 	// ProbeWorkers bounds the per-session probe pool of elephant
 	// routing. Algorithm 1 as printed probes its candidate paths one at
 	// a time, making elephant latency k sequential network round trips;
@@ -147,6 +155,7 @@ type Flash struct {
 	tableMisses        atomic.Int64
 	pathsReplaced      atomic.Int64
 	tableInvalidations atomic.Int64
+	tableEvictions     atomic.Int64
 	thresholdUpdates   atomic.Int64
 }
 
@@ -220,9 +229,9 @@ func (f *Flash) SetThreshold(t float64) int {
 	f.tablesMu.RLock()
 	for _, tbl := range f.tables {
 		tbl.mu.Lock()
-		for receiver, e := range tbl.entries {
+		for _, e := range tbl.entries {
 			if e.maxAmount > t {
-				delete(tbl.entries, receiver)
+				tbl.removeLocked(e)
 				dropped++
 			}
 		}
@@ -278,9 +287,9 @@ func (f *Flash) InvalidateChannel(u, v topo.NodeID) int {
 	f.tablesMu.RLock()
 	for _, t := range f.tables {
 		t.mu.Lock()
-		for receiver, e := range t.entries {
+		for _, e := range t.entries {
 			if entryUsesChannel(e, u, v) {
-				delete(t.entries, receiver)
+				t.removeLocked(e)
 				dropped++
 			}
 		}
@@ -343,7 +352,12 @@ func (f *Flash) Prewarm(g *topo.Graph, pairs []Pair, workers int) int {
 		paths := graph.YenKSP(g, p.Sender, p.Receiver, f.cfg.M)
 		tbl.mu.Lock()
 		if _, exists := tbl.entries[p.Receiver]; !exists {
-			tbl.entries[p.Receiver] = &tableEntry{paths: paths, lastAccess: clock}
+			e := &tableEntry{receiver: p.Receiver, paths: paths, lastAccess: clock}
+			tbl.entries[p.Receiver] = e
+			// The captured clock may trail concurrent payment traffic, so
+			// a sorted insert keeps the LRU list in lastAccess order.
+			tbl.insertByAccess(e)
+			f.enforceCapLocked(tbl)
 			computed.Add(1)
 		}
 		tbl.mu.Unlock()
@@ -359,6 +373,7 @@ type Stats struct {
 	TableMisses        int64 // mice payments requiring a Yen computation
 	PathsReplaced      int64 // dead table paths replaced by the next Yen path
 	TableInvalidations int64 // entries dropped by InvalidateChannel (churn) or SetThreshold
+	TableEvictions     int64 // LRU entries evicted by the Config.TableCap bound
 	ThresholdUpdates   int64 // SetThreshold calls that changed the threshold
 	TableEntries       int   // receivers currently cached across all senders
 }
@@ -380,6 +395,7 @@ func (f *Flash) Stats() Stats {
 		TableMisses:        f.tableMisses.Load(),
 		PathsReplaced:      f.pathsReplaced.Load(),
 		TableInvalidations: f.tableInvalidations.Load(),
+		TableEvictions:     f.tableEvictions.Load(),
 		ThresholdUpdates:   f.thresholdUpdates.Load(),
 		TableEntries:       entries,
 	}

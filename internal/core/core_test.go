@@ -380,7 +380,7 @@ func TestFixedMiceOrderDeterministic(t *testing.T) {
 	e := &tableEntry{paths: [][]topo.NodeID{
 		{0, 1, 2, 3}, {0, 3}, {0, 2, 3},
 	}}
-	order := f.pathOrder(nil, &routingTable{}, e)
+	order := f.pathOrder(nil, &routingTable{}, e, nil)
 	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
 		t.Errorf("fixed order = %v, want shortest-first [1 2 0]", order)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/lp"
@@ -15,33 +16,130 @@ import (
 // hop), the residual matrix C′, and the fee schedules collected during
 // probing (§3.2: "The fee information is collected during the probing
 // process with the capacity information").
+//
+// The matrices are flat arrays indexed by directed channel slot —
+// 2·channel + direction, direction 1 meaning higher endpoint to lower
+// (Edge canonicalises A < B) — with an epoch-stamped known set, so a
+// pooled probedState resets in O(1) and every hop query is an array
+// read instead of a map probe. Values at slots whose known stamp is
+// stale are garbage; every accessor checks the stamp first.
 type probedState struct {
-	capacity map[graph.DirEdge]float64 // C — probed capacity, set once
-	residual map[graph.DirEdge]float64 // C′ — capacity minus flow found so far
-	fees     map[graph.DirEdge]pcn.FeeSchedule
+	g        *topo.Graph
+	epoch    uint32
+	known    []uint32  // slot probed iff known[slot] == epoch
+	capacity []float64 // C — probed capacity, set once
+	residual []float64 // C′ — capacity minus flow found so far
+	fees     []pcn.FeeSchedule
 }
 
-func newProbedState() *probedState {
-	return &probedState{
-		capacity: make(map[graph.DirEdge]float64),
-		residual: make(map[graph.DirEdge]float64),
-		fees:     make(map[graph.DirEdge]pcn.FeeSchedule),
+var probedPool = sync.Pool{New: func() any { return new(probedState) }}
+
+// acquireProbedState draws a probedState for g from the package pool,
+// sized to g's current channel count and reset to all-unknown.
+func acquireProbedState(g *topo.Graph) *probedState {
+	ps := probedPool.Get().(*probedState)
+	ps.g = g
+	if m := 2 * g.NumChannels(); len(ps.known) < m {
+		ps.known = make([]uint32, m)
+		ps.capacity = make([]float64, m)
+		ps.residual = make([]float64, m)
+		ps.fees = make([]pcn.FeeSchedule, m)
+		ps.epoch = 0
 	}
+	ps.epoch++
+	if ps.epoch == 0 { // uint32 wrap: stale stamps could alias, clear once
+		clear(ps.known)
+		ps.epoch = 1
+	}
+	return ps
 }
 
-// known reports whether hop e has been probed.
-func (ps *probedState) known(e graph.DirEdge) bool {
-	_, ok := ps.capacity[e]
-	return ok
+// release returns ps to the pool. No path or plan may retain it.
+func (ps *probedState) release() {
+	ps.g = nil
+	probedPool.Put(ps)
 }
 
-// usable implements Algorithm 1's BFS filter: unknown hops are assumed
+// slot maps the directed hop u→v to its flat index, growing the arrays
+// when a channel was registered after this probedState was sized (churn
+// opening a channel mid-payment). Returns -1 for hops with no channel.
+func (ps *probedState) slot(u, v topo.NodeID) int {
+	ci := ps.g.ChannelIndex(u, v)
+	if ci < 0 {
+		return -1
+	}
+	s := 2 * ci
+	if u > v {
+		s++
+	}
+	if s >= len(ps.known) {
+		ps.grow(s + 1)
+	}
+	return s
+}
+
+func (ps *probedState) grow(m int) {
+	known := make([]uint32, m)
+	copy(known, ps.known)
+	ps.known = known
+	capacity := make([]float64, m)
+	copy(capacity, ps.capacity)
+	ps.capacity = capacity
+	residual := make([]float64, m)
+	copy(residual, ps.residual)
+	ps.residual = residual
+	fees := make([]pcn.FeeSchedule, m)
+	copy(fees, ps.fees)
+	ps.fees = fees
+}
+
+// knownHop reports whether the directed hop u→v has been probed.
+func (ps *probedState) knownHop(u, v topo.NodeID) bool {
+	s := ps.slot(u, v)
+	return s >= 0 && ps.known[s] == ps.epoch
+}
+
+// capAt returns the probed capacity of u→v (0 when unprobed, matching
+// the zero value the map representation used to yield).
+func (ps *probedState) capAt(u, v topo.NodeID) float64 {
+	if s := ps.slot(u, v); s >= 0 && ps.known[s] == ps.epoch {
+		return ps.capacity[s]
+	}
+	return 0
+}
+
+// feeAt returns the probed fee schedule of u→v (zero when unprobed).
+func (ps *probedState) feeAt(u, v topo.NodeID) pcn.FeeSchedule {
+	if s := ps.slot(u, v); s >= 0 && ps.known[s] == ps.epoch {
+		return ps.fees[s]
+	}
+	return pcn.FeeSchedule{}
+}
+
+// knownCount returns the number of probed directed hops (tests assert
+// on the knowledge footprint of the probe pipeline).
+func (ps *probedState) knownCount() int {
+	n := 0
+	for _, st := range ps.known {
+		if st == ps.epoch {
+			n++
+		}
+	}
+	return n
+}
+
+// usableCh implements Algorithm 1's BFS filter: unknown hops are assumed
 // to have non-zero capacity ("our algorithm works without the capacity
 // matrix as input by assuming each channel has non-zero capacity"),
-// probed hops require positive residual.
-func (ps *probedState) usable(u, v topo.NodeID) bool {
-	if r, ok := ps.residual[graph.DirEdge{U: u, V: v}]; ok {
-		return r > route.Epsilon
+// probed hops require positive residual. The search hands over the
+// channel index it is traversing, so the filter is two array reads.
+func (ps *probedState) usableCh(u, v topo.NodeID, ch int32) bool {
+	s := 2 * int(ch)
+	if u > v {
+		s++
+	}
+	if s < len(ps.known) && ps.known[s] == ps.epoch {
+		return ps.residual[s] > route.Epsilon
 	}
 	return true
 }
@@ -61,14 +159,20 @@ type elephantPlan struct {
 // its channel: each on-path node knows the balance on both sides of
 // its adjacent channels.
 func (ps *probedState) record(p []topo.NodeID, info []pcn.HopInfo) {
-	for i, e := range graph.PathEdges(p) {
-		if !ps.known(e) {
-			ps.capacity[e] = info[i].Available
-			ps.residual[e] = info[i].Available
-			ps.fees[e] = info[i].Fee
+	for i := 0; i+1 < len(p); i++ {
+		fwd := ps.slot(p[i], p[i+1])
+		if fwd < 0 {
+			continue
 		}
-		rev := e.Reverse()
-		if !ps.known(rev) {
+		if ps.known[fwd] != ps.epoch {
+			ps.known[fwd] = ps.epoch
+			ps.capacity[fwd] = info[i].Available
+			ps.residual[fwd] = info[i].Available
+			ps.fees[fwd] = info[i].Fee
+		}
+		rev := fwd ^ 1
+		if ps.known[rev] != ps.epoch {
+			ps.known[rev] = ps.epoch
 			ps.capacity[rev] = info[i].ReverseAvailable
 			ps.residual[rev] = info[i].ReverseAvailable
 			ps.fees[rev] = info[i].ReverseFee
@@ -77,11 +181,16 @@ func (ps *probedState) record(p []topo.NodeID, info []pcn.HopInfo) {
 }
 
 // bottleneck is the minimum residual along p (Algorithm 1 line 12),
-// clamped at zero.
+// clamped at zero. Unprobed hops read as zero residual, exactly as the
+// map representation's missing keys did.
 func (ps *probedState) bottleneck(p []topo.NodeID) float64 {
 	c := math.Inf(1)
-	for _, e := range graph.PathEdges(p) {
-		if r := ps.residual[e]; r < c {
+	for i := 0; i+1 < len(p); i++ {
+		r := 0.0
+		if s := ps.slot(p[i], p[i+1]); s >= 0 && ps.known[s] == ps.epoch {
+			r = ps.residual[s]
+		}
+		if r < c {
 			c = r
 		}
 	}
@@ -103,9 +212,14 @@ func (plan *elephantPlan) accept(p []topo.NodeID, c float64) {
 	plan.paths = append(plan.paths, p)
 	plan.pathFlows = append(plan.pathFlows, c)
 	if c > 0 {
-		for _, e := range graph.PathEdges(p) {
-			plan.state.residual[e] -= c
-			plan.state.residual[e.Reverse()] += c
+		ps := plan.state
+		for i := 0; i+1 < len(p); i++ {
+			// Probing recorded both directions of every on-path channel,
+			// so the slots are known; the update mirrors lines 23–24.
+			if fwd := ps.slot(p[i], p[i+1]); fwd >= 0 {
+				ps.residual[fwd] -= c
+				ps.residual[fwd^1] += c
+			}
 		}
 		plan.flow += c
 	}
@@ -124,16 +238,19 @@ func (f *Flash) findElephantPaths(s route.Session, k int) *elephantPlan {
 	if w := f.probePoolSize(s); w > 1 {
 		return f.findElephantPathsPipelined(s, k, w)
 	}
-	ps := newProbedState()
-	plan := &elephantPlan{state: ps}
 	g := s.Graph()
+	ps := acquireProbedState(g)
+	plan := &elephantPlan{state: ps}
 	demand := s.Demand()
+	sc := graph.AcquireScratch()
+	defer graph.ReleaseScratch(sc)
 
 	for len(plan.paths) < k {
-		p := graph.ShortestPath(g, s.Sender(), s.Receiver(), ps.usable)
+		p := sc.ShortestPathCh(g, s.Sender(), s.Receiver(), ps.usableCh)
 		if p == nil {
 			break
 		}
+		p = append([]topo.NodeID(nil), p...) // plan retains; scratch reuses
 		info, err := s.Probe(p)
 		if err != nil {
 			break
@@ -147,7 +264,8 @@ func (f *Flash) findElephantPaths(s route.Session, k int) *elephantPlan {
 	if plan.flow >= demand-route.Epsilon {
 		return plan
 	}
-	return nil // Algorithm 1 line 28: demand unsatisfiable with k paths
+	ps.release() // no plan retains it
+	return nil   // Algorithm 1 line 28: demand unsatisfiable with k paths
 }
 
 // routeElephant runs the full elephant pipeline: Algorithm 1 path
@@ -161,6 +279,7 @@ func (f *Flash) routeElephant(s route.Session) error {
 		}
 		return route.ErrInsufficient
 	}
+	defer plan.state.release()
 
 	var alloc []float64
 	if f.cfg.DisableFeeOpt {
@@ -243,8 +362,8 @@ func (f *Flash) optimizeAllocation(plan *elephantPlan, demand float64) []float64
 	c := make([]float64, n)
 	for i, p := range plan.paths {
 		rate := 0.0
-		for _, e := range graph.PathEdges(p) {
-			rate += plan.state.fees[e].Rate
+		for j := 0; j+1 < len(p); j++ {
+			rate += plan.state.feeAt(p[j], p[j+1]).Rate
 		}
 		c[i] = rate
 	}
@@ -261,13 +380,13 @@ func (f *Flash) optimizeAllocation(plan *elephantPlan, demand float64) []float64
 		idx := len(aub)
 		hopRows[e] = idx
 		aub = append(aub, make([]float64, n))
-		bub = append(bub, plan.state.capacity[e])
+		bub = append(bub, plan.state.capAt(e.U, e.V))
 		return idx
 	}
 	for i, p := range plan.paths {
 		for _, e := range graph.PathEdges(p) {
 			aub[rowFor(e)][i] += 1
-			if plan.state.known(e.Reverse()) {
+			if plan.state.knownHop(e.V, e.U) {
 				aub[rowFor(e.Reverse())][i] -= 1
 			}
 		}

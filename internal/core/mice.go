@@ -21,10 +21,79 @@ const replacementPool = 4
 // receivers (§3.3), guarded by its own lock — the sharding unit that
 // lets payments from different senders route without contending. clock
 // counts payments routed by this sender and drives TTL eviction.
+//
+// Entries are additionally threaded on an intrusive doubly-linked list
+// in ascending lastAccess order (head oldest, tail most recent). The
+// list makes both eviction policies O(evicted) instead of O(entries):
+// TTL eviction pops stale entries off the head — the same set a full
+// map scan would find, since list order is lastAccess order — and the
+// size cap (Config.TableCap) evicts the head when an insert overflows.
 type routingTable struct {
-	mu      sync.Mutex
-	entries map[topo.NodeID]*tableEntry
-	clock   int
+	mu         sync.Mutex
+	entries    map[topo.NodeID]*tableEntry
+	head, tail *tableEntry // LRU list: head oldest, tail newest
+	clock      int
+}
+
+// unlink removes e from the LRU list (e must be on it).
+func (t *routingTable) unlink(e *tableEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushBack appends e as the most recently used entry.
+func (t *routingTable) pushBack(e *tableEntry) {
+	e.prev, e.next = t.tail, nil
+	if t.tail != nil {
+		t.tail.next = e
+	} else {
+		t.head = e
+	}
+	t.tail = e
+}
+
+// insertByAccess inserts e in lastAccess order, walking back from the
+// tail. Payments always insert at the tail (the clock only moves
+// forward under the table lock); this path exists for Prewarm, whose
+// entries carry the clock captured before their Yen run and so may
+// trail concurrent payment traffic.
+func (t *routingTable) insertByAccess(e *tableEntry) {
+	at := t.tail
+	for at != nil && at.lastAccess > e.lastAccess {
+		at = at.prev
+	}
+	if at == nil {
+		e.prev, e.next = nil, t.head
+		if t.head != nil {
+			t.head.prev = e
+		} else {
+			t.tail = e
+		}
+		t.head = e
+		return
+	}
+	e.prev, e.next = at, at.next
+	if at.next != nil {
+		at.next.prev = e
+	} else {
+		t.tail = e
+	}
+	at.next = e
+}
+
+// removeLocked drops e from both the map and the LRU list.
+func (t *routingTable) removeLocked(e *tableEntry) {
+	delete(t.entries, e.receiver)
+	t.unlink(e)
 }
 
 // tableEntry caches the top-m shortest paths to one receiver. all is
@@ -36,6 +105,8 @@ type routingTable struct {
 // slices themselves are immutable once created, so a path handed out
 // under the lock stays valid after release.
 type tableEntry struct {
+	receiver   topo.NodeID // map key, needed to evict via the LRU list
+	prev, next *tableEntry // intrusive LRU list links
 	paths      [][]topo.NodeID
 	all        [][]topo.NodeID // extended Yen list, nil until first needed
 	cursor     int             // rotation position within all
@@ -81,15 +152,17 @@ func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID, amount 
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.clock++
-	if f.cfg.TableTTL > 0 {
-		for r, e := range t.entries {
-			if t.clock-e.lastAccess > f.cfg.TableTTL {
-				delete(t.entries, r)
-			}
+	if ttl := f.cfg.TableTTL; ttl > 0 {
+		// The LRU list is in lastAccess order, so the stale entries are
+		// exactly the prefix at the head — O(evicted), not O(entries).
+		for t.head != nil && t.clock-t.head.lastAccess > ttl {
+			t.removeLocked(t.head)
 		}
 	}
 	if e, ok := t.entries[receiver]; ok {
+		t.unlink(e)
 		e.lastAccess = t.clock
+		t.pushBack(e)
 		if amount > e.maxAmount {
 			e.maxAmount = amount
 		}
@@ -101,12 +174,29 @@ func (f *Flash) lookupPaths(g *topo.Graph, sender, receiver topo.NodeID, amount 
 	// pool is only materialised when a path actually dies (most entries
 	// never need one, so the common case stays cheap).
 	e := &tableEntry{
+		receiver:   receiver,
 		paths:      graph.YenKSP(g, sender, receiver, f.cfg.M),
 		lastAccess: t.clock,
 		maxAmount:  amount,
 	}
 	t.entries[receiver] = e
+	t.pushBack(e)
+	f.enforceCapLocked(t)
 	return t, e
+}
+
+// enforceCapLocked evicts least-recently-used entries until the table
+// respects Config.TableCap. Cap 0 (the default) means unbounded —
+// byte-identical behaviour to the uncapped table.
+func (f *Flash) enforceCapLocked(t *routingTable) {
+	cap := f.cfg.TableCap
+	if cap <= 0 {
+		return
+	}
+	for len(t.entries) > cap && t.head != nil {
+		t.removeLocked(t.head)
+		f.tableEvictions.Add(1)
+	}
 }
 
 // pathAt returns entry's path at slot under the table lock, or nil when
@@ -175,7 +265,10 @@ func containsPath(set [][]topo.NodeID, p []topo.NodeID) bool {
 func (f *Flash) routeMice(s route.Session) error {
 	g := s.Graph()
 	tbl, entry := f.lookupPaths(g, s.Sender(), s.Receiver(), s.Demand())
-	order := f.pathOrder(s, tbl, entry)
+	ob := orderPool.Get().(*[]int)
+	defer orderPool.Put(ob)
+	order := f.pathOrder(s, tbl, entry, (*ob)[:0])
+	*ob = order
 	if len(order) == 0 {
 		if err := s.Abort(); err != nil {
 			return err
@@ -226,14 +319,20 @@ func (f *Flash) routeMice(s route.Session) error {
 	return route.Finish(s, route.ErrInsufficient)
 }
 
+// orderPool recycles the mice path-order buffers: a slot permutation is
+// needed per mice payment and discarded immediately after the
+// trial-and-error loop, so pooling keeps the steady state alloc-free.
+var orderPool = sync.Pool{New: func() any { return new([]int) }}
+
 // pathOrder returns the order in which to try table paths: random by
 // default ("Flash randomly picks the paths to better load balance them
 // without knowing their instantaneous capacities"), or ascending length
 // when the FixedMiceOrder ablation is on. The shuffle draws from the
 // session's per-payment RNG when one is attached (route.RandSource), so
 // concurrent replays make scheduling-independent random choices; the
-// router's shared seeded RNG is the sequential fallback.
-func (f *Flash) pathOrder(s route.Session, t *routingTable, e *tableEntry) []int {
+// router's shared seeded RNG is the sequential fallback. The result is
+// built in buf (grown as needed).
+func (f *Flash) pathOrder(s route.Session, t *routingTable, e *tableEntry, buf []int) []int {
 	t.mu.Lock()
 	n := len(e.paths)
 	var lengths []int
@@ -245,9 +344,9 @@ func (f *Flash) pathOrder(s route.Session, t *routingTable, e *tableEntry) []int
 	}
 	t.mu.Unlock()
 
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	order := buf
+	for i := 0; i < n; i++ {
+		order = append(order, i)
 	}
 	if f.cfg.FixedMiceOrder {
 		sort.Slice(order, func(a, b int) bool {

@@ -61,8 +61,8 @@ func (f *Flash) probePoolSize(s route.Session) int {
 // channel, so a path made entirely of known hops carries no new
 // information and need not be re-probed.
 func (ps *probedState) unknownHops(p []topo.NodeID) bool {
-	for _, e := range graph.PathEdges(p) {
-		if !ps.known(e) {
+	for i := 0; i+1 < len(p); i++ {
+		if !ps.knownHop(p[i], p[i+1]) {
 			return true
 		}
 	}
@@ -75,9 +75,9 @@ func (ps *probedState) unknownHops(p []topo.NodeID) bool {
 // checked); probes are fenced from the hold phase because every round
 // joins the pool before returning.
 func (f *Flash) findElephantPathsPipelined(s route.Session, k, workers int) *elephantPlan {
-	ps := newProbedState()
-	plan := &elephantPlan{state: ps}
 	g := s.Graph()
+	ps := acquireProbedState(g)
+	plan := &elephantPlan{state: ps}
 	demand := s.Demand()
 	demandMet := func() bool {
 		return !f.cfg.ProbeAllK && plan.flow >= demand-route.Epsilon
@@ -91,7 +91,7 @@ func (f *Flash) findElephantPathsPipelined(s route.Session, k, workers int) *ele
 		if rem := k - len(plan.paths); want > rem {
 			want = rem
 		}
-		cands := graph.YenKSPUsable(g, s.Sender(), s.Receiver(), want, ps.usable)
+		cands := graph.YenKSPCh(g, s.Sender(), s.Receiver(), want, ps.usableCh)
 		if len(cands) == 0 {
 			break
 		}
@@ -119,6 +119,7 @@ func (f *Flash) findElephantPathsPipelined(s route.Session, k, workers int) *ele
 				if plan.flow >= demand-route.Epsilon {
 					return plan
 				}
+				ps.release()
 				return nil
 			}
 			if infos[i] != nil {
@@ -140,5 +141,6 @@ func (f *Flash) findElephantPathsPipelined(s route.Session, k, workers int) *ele
 	if plan.flow >= demand-route.Epsilon {
 		return plan
 	}
-	return nil // Algorithm 1 line 28: demand unsatisfiable with k paths
+	ps.release() // no plan retains it
+	return nil   // Algorithm 1 line 28: demand unsatisfiable with k paths
 }

@@ -115,7 +115,7 @@ func TestPipelinedEarlyStopKeepsSurplusKnowledge(t *testing.T) {
 	// of both channels). Sequential probing would know exactly one
 	// path's worth; the pipeline probed a full round of 4 candidates.
 	seqKnown, roundKnown := 4, 4*4
-	if got := len(plan.state.capacity); got != roundKnown {
+	if got := plan.state.knownCount(); got != roundKnown {
 		t.Errorf("capacity matrix has %d entries, want %d (surplus speculation kept)", got, roundKnown)
 	} else if got <= seqKnown {
 		t.Errorf("no surplus knowledge retained: %d entries", got)

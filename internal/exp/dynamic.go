@@ -39,7 +39,7 @@ func Dynamic(o Options) error {
 	names := sim.DynamicScenarioNames
 	w := o.table("scenario\tscheme\tsucc.ratio\tsucc.volume\twindow min..max\tchurn(open/close/rebal)\tadaptive thr")
 	rows, err := o.runCells(len(names), func(i int) (string, error) {
-		sc, err := sim.NamedDynamicScenario(names[i], sim.KindRipple, o.rippleNodes())
+		sc, err := sim.NamedDynamicScenario(names[i], o.kindFor(sim.KindRipple), o.rippleNodes())
 		if err != nil {
 			return "", err
 		}

@@ -50,12 +50,27 @@ type Options struct {
 	// whose catalogue preset enables it (demand-drift) adapt. Tables
 	// stay deterministic either way.
 	AdaptiveThreshold bool
+
+	// Topology, when non-empty, replaces every figure's generated
+	// topology with the snapshot file at this path (LN channel-graph
+	// JSON or a Ripple capacity edge list — topo.LoadSnapshotFile),
+	// reproducing the evaluation over a real ingested graph.
+	Topology string
+}
+
+// kindFor resolves a figure's topology kind against the Topology
+// override: the ingested snapshot when one is set, kind otherwise.
+func (o Options) kindFor(kind string) string {
+	if o.Topology != "" {
+		return sim.KindSnapshotPrefix + o.Topology
+	}
+	return kind
 }
 
 // scenario builds the base experiment cell for a kind, applying the
 // option-level Flash knobs every figure shares.
 func (o Options) scenario(kind string, nodes int) sim.Scenario {
-	sc := sim.DefaultScenario(kind, nodes)
+	sc := sim.DefaultScenario(o.kindFor(kind), nodes)
 	sc.ProbeWorkers = o.ProbeWorkers
 	return sc
 }

@@ -20,6 +20,12 @@ import (
 // means every topological edge is usable.
 type Usable func(u, v topo.NodeID) bool
 
+// ChUsable is a channel-aware usability predicate: it additionally
+// receives the index of the channel joining u and v, which the CSR
+// traversal already holds, so predicates keyed by channel index need no
+// lookup of their own.
+type ChUsable func(u, v topo.NodeID, ch int32) bool
+
 // DirEdge is a directed hop over an undirected channel.
 type DirEdge struct {
 	U, V topo.NodeID
@@ -52,51 +58,18 @@ func Hops(path []topo.NodeID) int {
 // ShortestPath returns a minimum-hop path from s to t whose every
 // directed hop satisfies usable, or nil if t is unreachable. Neighbour
 // order breaks ties, making results deterministic for a fixed graph.
+//
+// The search runs on a pooled Scratch, so the only allocation is the
+// returned path itself; callers on a hot loop that can reuse the result
+// buffer too should hold their own Scratch and call its ShortestPath.
 func ShortestPath(g *topo.Graph, s, t topo.NodeID, usable Usable) []topo.NodeID {
-	if s == t {
-		return []topo.NodeID{s}
+	sc := AcquireScratch()
+	p := sc.ShortestPath(g, s, t, usable)
+	if p != nil {
+		p = appendCopy(p)
 	}
-	n := g.NumNodes()
-	parent := make([]topo.NodeID, n)
-	for i := range parent {
-		parent[i] = -1
-	}
-	parent[s] = s
-	queue := make([]topo.NodeID, 0, n)
-	queue = append(queue, s)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.Neighbors(u) {
-			if parent[v] != -1 {
-				continue
-			}
-			if usable != nil && !usable(u, v) {
-				continue
-			}
-			parent[v] = u
-			if v == t {
-				return reconstruct(parent, s, t)
-			}
-			queue = append(queue, v)
-		}
-	}
-	return nil
-}
-
-func reconstruct(parent []topo.NodeID, s, t topo.NodeID) []topo.NodeID {
-	var rev []topo.NodeID
-	for v := t; ; v = parent[v] {
-		rev = append(rev, v)
-		if v == s {
-			break
-		}
-	}
-	path := make([]topo.NodeID, len(rev))
-	for i, v := range rev {
-		path[len(rev)-1-i] = v
-	}
-	return path
+	ReleaseScratch(sc)
+	return p
 }
 
 // Distances returns BFS hop distances from src to every node; -1 marks
@@ -147,18 +120,21 @@ func SpanningTree(g *topo.Graph, root topo.NodeID) []topo.NodeID {
 // EdgeDisjointPaths returns up to k minimum-hop paths from s to t that
 // share no channel (in either direction), found by successive BFS with
 // used channels removed — the path set the Spider baseline routes over.
+// Used channels live in the scratch ban-set keyed by channel index (one
+// flat stamp array instead of a map allocated per call).
 func EdgeDisjointPaths(g *topo.Graph, s, t topo.NodeID, k int) [][]topo.NodeID {
-	used := make(map[topo.Edge]bool)
+	sc := AcquireScratch()
+	defer ReleaseScratch(sc)
+	sc.ensureBans(g)
 	var paths [][]topo.NodeID
 	for len(paths) < k {
-		p := ShortestPath(g, s, t, func(u, v topo.NodeID) bool {
-			return !used[topo.NewEdge(u, v)]
-		})
+		p := sc.search(g, s, t, nil, nil, true)
 		if p == nil {
 			break
 		}
-		for _, e := range PathEdges(p) {
-			used[topo.NewEdge(e.U, e.V)] = true
+		p = appendCopy(p)
+		for i := 0; i+1 < len(p); i++ {
+			sc.banChannel(g.ChannelIndex(p[i], p[i+1]))
 		}
 		paths = append(paths, p)
 	}

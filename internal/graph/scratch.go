@@ -1,0 +1,257 @@
+package graph
+
+import (
+	"sync"
+
+	"repro/internal/topo"
+)
+
+// Scratch is the reusable working memory of the path searches in this
+// package: BFS parent/queue buffers, epoch-stamped visited marks (a new
+// search bumps the epoch instead of clearing — reset is O(1), and only
+// the nodes a search actually touches are ever written), a result
+// buffer, and the Yen spur ban-sets keyed by channel index. One Scratch
+// amortises every per-call allocation of ShortestPath and YenKSP: a
+// steady-state search with a warm Scratch allocates nothing.
+//
+// A Scratch is not safe for concurrent use; callers either own one per
+// goroutine or draw from AcquireScratch/ReleaseScratch. Results
+// returned by Scratch methods alias the scratch buffers and are valid
+// only until the next search on the same Scratch — callers that retain
+// a path must copy it.
+type Scratch struct {
+	parent []topo.NodeID
+	mark   []uint8 // parent[v] is valid iff mark[v] == epoch; one byte
+	epoch  uint8   // per node keeps the visited set L1-resident
+	queue  []topo.NodeID
+	path   []topo.NodeID
+
+	// Yen spur state: node bans for the root prefix, directed-edge bans
+	// keyed 2·channel + direction (direction 1 = higher endpoint to
+	// lower, exploiting Edge canonicalisation, so no channel record is
+	// ever loaded on the search path). Stamped with banEpoch so clearing
+	// a spur's bans is a single increment; one byte per slot keeps both
+	// sets cache-resident.
+	nodeBan  []uint8
+	edgeBan  []uint8
+	banEpoch uint8
+}
+
+// NewScratch returns an empty Scratch; buffers grow to fit the first
+// graph searched.
+func NewScratch() *Scratch { return new(Scratch) }
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// AcquireScratch draws a Scratch from the package pool. Pair with
+// ReleaseScratch.
+func AcquireScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// ReleaseScratch returns a Scratch to the package pool. The caller must
+// not use sc, or any path aliasing its buffers, afterwards.
+func ReleaseScratch(sc *Scratch) { scratchPool.Put(sc) }
+
+// ensure sizes the scratch for g and opens a fresh visited epoch.
+func (sc *Scratch) ensure(g *topo.Graph) {
+	if n := g.NumNodes(); len(sc.parent) < n {
+		sc.parent = make([]topo.NodeID, n)
+		sc.mark = make([]uint8, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // uint8 wrap: stale stamps could alias, clear once
+		clear(sc.mark)
+		sc.epoch = 1
+	}
+	if cap(sc.queue) < len(sc.parent) {
+		sc.queue = make([]topo.NodeID, 0, len(sc.parent))
+	}
+}
+
+// ensureBans sizes the ban-sets for g and opens a fresh ban epoch.
+func (sc *Scratch) ensureBans(g *topo.Graph) {
+	if n := g.NumNodes(); len(sc.nodeBan) < n {
+		sc.nodeBan = make([]uint8, n)
+	}
+	if m := 2 * g.NumChannels(); len(sc.edgeBan) < m {
+		sc.edgeBan = make([]uint8, m)
+	}
+	sc.banEpoch++
+	if sc.banEpoch == 0 { // uint8 wrap, see ensure
+		clear(sc.nodeBan)
+		clear(sc.edgeBan)
+		sc.banEpoch = 1
+	}
+}
+
+// banNode excludes v from the next banned search.
+func (sc *Scratch) banNode(v topo.NodeID) { sc.nodeBan[v] = sc.banEpoch }
+
+// banEdge excludes the directed hop u→v over channel idx from the next
+// banned search.
+func (sc *Scratch) banEdge(idx int, u, v topo.NodeID) {
+	d := 0
+	if u > v {
+		d = 1
+	}
+	sc.edgeBan[2*idx+d] = sc.banEpoch
+}
+
+// banChannel excludes channel idx in both directions.
+func (sc *Scratch) banChannel(idx int) {
+	sc.edgeBan[2*idx] = sc.banEpoch
+	sc.edgeBan[2*idx+1] = sc.banEpoch
+}
+
+// ShortestPath is graph.ShortestPath running entirely in the scratch
+// buffers: a minimum-hop path from s to t whose every directed hop
+// satisfies usable, or nil. The returned slice aliases the scratch and
+// is valid until the next search on sc. Neighbor order breaks ties,
+// exactly as in the allocating version.
+func (sc *Scratch) ShortestPath(g *topo.Graph, s, t topo.NodeID, usable Usable) []topo.NodeID {
+	return sc.search(g, s, t, usable, nil, false)
+}
+
+// ShortestPathCh is ShortestPath with a channel-aware predicate: the
+// search hands cu the channel index it is already holding for the hop,
+// so predicates keyed by channel (the elephant router's probed-residual
+// filter) avoid a per-hop ChannelIndex lookup.
+func (sc *Scratch) ShortestPathCh(g *topo.Graph, s, t topo.NodeID, cu ChUsable) []topo.NodeID {
+	return sc.search(g, s, t, nil, cu, false)
+}
+
+// search runs the BFS; banned additionally applies the scratch ban-sets
+// (Yen spur searches, disjoint-path searches). The predicate-free case —
+// every mice-table Yen search and the plain-topology baselines — runs a
+// specialised loop with no predicate branches.
+func (sc *Scratch) search(g *topo.Graph, s, t topo.NodeID, usable Usable, cu ChUsable, banned bool) []topo.NodeID {
+	if s == t {
+		sc.path = append(sc.path[:0], s)
+		return sc.path
+	}
+	sc.ensure(g)
+	off, nbrs, chans := g.AdjacencyView()
+	sc.parent[s] = s
+	sc.mark[s] = sc.epoch
+	if usable == nil && cu == nil {
+		return sc.searchNoPred(off, nbrs, chans, s, t, banned)
+	}
+	parent, mark, epoch := sc.parent, sc.mark, sc.epoch
+	queue := sc.queue[:0]
+	queue = append(queue, s)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		lo, hi := off[u], off[u+1]
+		run := nbrs[lo:hi]
+		crun := chans[lo:hi]
+		for i, v := range run {
+			if mark[v] == epoch {
+				continue
+			}
+			if banned {
+				if sc.nodeBan[v] == sc.banEpoch {
+					continue
+				}
+				d := 2 * crun[i]
+				if u > v {
+					d++
+				}
+				if sc.edgeBan[d] == sc.banEpoch {
+					continue
+				}
+			}
+			if usable != nil && !usable(u, v) {
+				continue
+			}
+			if cu != nil && !cu(u, v, crun[i]) {
+				continue
+			}
+			parent[v] = u
+			mark[v] = epoch
+			if v == t {
+				sc.queue = queue
+				return sc.reconstruct(s, t)
+			}
+			queue = append(queue, v)
+		}
+	}
+	sc.queue = queue
+	return nil
+}
+
+// searchNoPred is the predicate-free BFS body: identical traversal
+// order, with the per-edge predicate checks compiled out.
+func (sc *Scratch) searchNoPred(off []int32, nbrs []topo.NodeID, chans []int32, s, t topo.NodeID, banned bool) []topo.NodeID {
+	parent, mark, epoch := sc.parent, sc.mark, sc.epoch
+	queue := sc.queue[:0]
+	queue = append(queue, s)
+	if banned {
+		nodeBan, edgeBan, banEpoch := sc.nodeBan, sc.edgeBan, sc.banEpoch
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			lo, hi := off[u], off[u+1]
+			run := nbrs[lo:hi]
+			crun := chans[lo:hi]
+			for i, v := range run {
+				if mark[v] == epoch || nodeBan[v] == banEpoch {
+					continue
+				}
+				d := 2 * crun[i]
+				if u > v {
+					d++
+				}
+				if edgeBan[d] == banEpoch {
+					continue
+				}
+				parent[v] = u
+				mark[v] = epoch
+				if v == t {
+					sc.queue = queue
+					return sc.reconstruct(s, t)
+				}
+				queue = append(queue, v)
+			}
+		}
+		sc.queue = queue
+		return nil
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range nbrs[off[u]:off[u+1]] {
+			if mark[v] == epoch {
+				continue
+			}
+			parent[v] = u
+			mark[v] = epoch
+			if v == t {
+				sc.queue = queue
+				return sc.reconstruct(s, t)
+			}
+			queue = append(queue, v)
+		}
+	}
+	sc.queue = queue
+	return nil
+}
+
+// reconstruct rebuilds the s→t path from the parent array into the
+// scratch path buffer.
+func (sc *Scratch) reconstruct(s, t topo.NodeID) []topo.NodeID {
+	rev := sc.path[:0]
+	for v := t; ; v = sc.parent[v] {
+		rev = append(rev, v)
+		if v == s {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	sc.path = rev
+	return rev
+}
+
+// appendCopy returns a retained copy of a scratch-aliased path.
+func appendCopy(p []topo.NodeID) []topo.NodeID {
+	return append(make([]topo.NodeID, 0, len(p)), p...)
+}

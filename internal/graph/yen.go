@@ -22,49 +22,60 @@ func YenKSP(g *topo.Graph, s, t topo.NodeID, k int) [][]topo.NodeID {
 // the BFS shortest path plus edge-avoidance spur deviations, all
 // distinct and all deterministic for a fixed graph and predicate.
 func YenKSPUsable(g *topo.Graph, s, t topo.NodeID, k int, usable Usable) [][]topo.NodeID {
+	return yenKSP(g, s, t, k, usable, nil)
+}
+
+// YenKSPCh is YenKSPUsable with a channel-aware predicate (ChUsable):
+// same algorithm, same output for an equivalent predicate, but the hop
+// filter receives the channel index the traversal already holds.
+func YenKSPCh(g *topo.Graph, s, t topo.NodeID, k int, cu ChUsable) [][]topo.NodeID {
+	return yenKSP(g, s, t, k, nil, cu)
+}
+
+func yenKSP(g *topo.Graph, s, t topo.NodeID, k int, usable Usable, cu ChUsable) [][]topo.NodeID {
 	if k <= 0 {
 		return nil
 	}
-	first := ShortestPath(g, s, t, usable)
+	sc := AcquireScratch()
+	defer ReleaseScratch(sc)
+	first := sc.search(g, s, t, usable, cu, false)
 	if first == nil {
 		return nil
 	}
+	first = appendCopy(first)
 	accepted := [][]topo.NodeID{first}
+	devs := []int{0} // devs[j] = spur index accepted[j] deviated at
 	cands := &candHeap{}
 	seen := map[uint64][][]topo.NodeID{pathKey(first): {first}}
 
-	// bannedNodes is a generation-stamped set, avoiding a map allocation
-	// per spur iteration (Yen runs one spur per prefix per accepted
-	// path; this is the algorithm's hot loop).
-	bannedNodes := make([]uint32, g.NumNodes())
-	gen := uint32(0)
-
 	for len(accepted) < k {
 		prev := accepted[len(accepted)-1]
-		for i := 0; i+1 < len(prev); i++ {
+		// Lawler's optimisation: spur indices below prev's own deviation
+		// point rerun an earlier spur search unchanged — the ban set at
+		// (root, i) only grows when an accepted path deviates at i, and
+		// that acceptance reran the spur itself — so the result is an
+		// exact duplicate the seen-set would reject. Skipping them is
+		// output-identical and removes roughly half the spur searches.
+		for i := devs[len(devs)-1]; i+1 < len(prev); i++ {
 			spur := prev[i]
 			root := prev[:i+1]
 
-			bannedEdges := make(map[DirEdge]struct{}, len(accepted))
+			// Spur bans live in the scratch stamp arrays: ensureBans opens
+			// a fresh ban generation (Yen runs one spur per prefix per
+			// accepted path; this is the algorithm's hot loop, and the
+			// channel-index ban set replaces a map[DirEdge] allocated per
+			// spur).
+			sc.ensureBans(g)
 			for _, p := range accepted {
 				if len(p) > i && samePrefix(p, root) {
-					bannedEdges[DirEdge{U: p[i], V: p[i+1]}] = struct{}{}
+					sc.banEdge(g.ChannelIndex(p[i], p[i+1]), p[i], p[i+1])
 				}
 			}
-			gen++
 			for _, u := range root[:len(root)-1] {
-				bannedNodes[u] = gen
+				sc.banNode(u)
 			}
 
-			spurPath := ShortestPath(g, spur, t, func(u, v topo.NodeID) bool {
-				if bannedNodes[v] == gen {
-					return false
-				}
-				if _, banned := bannedEdges[DirEdge{U: u, V: v}]; banned {
-					return false
-				}
-				return usable == nil || usable(u, v)
-			})
+			spurPath := sc.search(g, spur, t, usable, cu, true)
 			if spurPath == nil {
 				continue
 			}
@@ -74,12 +85,14 @@ func YenKSPUsable(g *topo.Graph, s, t topo.NodeID, k int, usable Usable) [][]top
 			if !rememberPath(seen, total) {
 				continue
 			}
-			heap.Push(cands, total)
+			heap.Push(cands, yenCand{path: total, dev: i})
 		}
 		if cands.Len() == 0 {
 			break
 		}
-		accepted = append(accepted, heap.Pop(cands).([]topo.NodeID))
+		c := heap.Pop(cands).(yenCand)
+		accepted = append(accepted, c.path)
+		devs = append(devs, c.dev)
 	}
 	return accepted
 }
@@ -136,23 +149,31 @@ func pathsEqual(a, b []topo.NodeID) bool {
 	return true
 }
 
+// yenCand is a candidate path plus the spur index it deviated at from
+// the accepted path it was generated from (Lawler's optimisation needs
+// the deviation point back when the candidate is accepted).
+type yenCand struct {
+	path []topo.NodeID
+	dev  int
+}
+
 // candHeap orders candidate paths by length, then lexicographically.
-type candHeap [][]topo.NodeID
+type candHeap []yenCand
 
 func (h candHeap) Len() int { return len(h) }
 func (h candHeap) Less(i, j int) bool {
-	if len(h[i]) != len(h[j]) {
-		return len(h[i]) < len(h[j])
+	if len(h[i].path) != len(h[j].path) {
+		return len(h[i].path) < len(h[j].path)
 	}
-	for x := range h[i] {
-		if h[i][x] != h[j][x] {
-			return h[i][x] < h[j][x]
+	for x := range h[i].path {
+		if h[i].path[x] != h[j].path[x] {
+			return h[i].path[x] < h[j].path[x]
 		}
 	}
 	return false
 }
 func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x any)   { *h = append(*h, x.([]topo.NodeID)) }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(yenCand)) }
 func (h *candHeap) Pop() any {
 	old := *h
 	n := len(old)

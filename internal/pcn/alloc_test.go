@@ -1,0 +1,32 @@
+package pcn
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// TestProbeAllocs pins Tx.Probe's steady-state allocation count at
+// exactly one — the returned HopInfo slice. The hop-resolution and
+// lock-order buffers live in the Tx scratch, so a regression here means
+// a probe started allocating per-hop state again (the sequential
+// elephant loop probes thousands of times per simulated second).
+func TestProbeAllocs(t *testing.T) {
+	n := lineNet(t)
+	tx, err := n.Begin(0, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []topo.NodeID{0, 1, 2, 3}
+	if _, err := tx.Probe(path); err != nil { // warm the Tx scratch
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := tx.Probe(path); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 1 {
+		t.Fatalf("Tx.Probe allocates %v/op in steady state, want exactly 1 (the HopInfo slice)", avg)
+	}
+}

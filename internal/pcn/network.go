@@ -99,8 +99,10 @@ type Network struct {
 }
 
 // New creates a network over g with all balances zero. Balances are
-// assigned afterwards via SetBalance or one of the Assign helpers.
+// assigned afterwards via SetBalance or one of the Assign helpers. The
+// graph is compacted so payment-time adjacency reads are lock-free.
 func New(g *topo.Graph) *Network {
+	g.Compact()
 	return &Network{graph: g, chans: make([]channel, g.NumChannels())}
 }
 
@@ -213,6 +215,10 @@ func (n *Network) RegisterChannel(u, v topo.NodeID) (int, error) {
 	if err != nil {
 		return -1, err
 	}
+	// Fold the new channel into the CSR base immediately: registration
+	// happens between replays, and an eager compaction keeps every
+	// payment-time adjacency read on the lock-free path.
+	n.graph.Compact()
 	n.chans = append(n.chans, channel{closed: true})
 	return idx, nil
 }
@@ -450,6 +456,23 @@ func (n *Network) AssignBalancesUniform(rng *rand.Rand, lo, hi float64) {
 		n.chans[i].bal[0] = total / 2
 		n.chans[i].bal[1] = total / 2
 	}
+}
+
+// AssignBalancesFromCapacities funds channel i with caps[i] — the
+// per-channel totals of an ingested snapshot (topo.Snapshot.Capacity)
+// — split evenly across the two directions, the paper's Ripple
+// preprocessing. caps must cover every channel.
+func (n *Network) AssignBalancesFromCapacities(caps []float64) error {
+	if len(caps) < len(n.chans) {
+		return fmt.Errorf("pcn: %d capacities for %d channels", len(caps), len(n.chans))
+	}
+	n.lockAll()
+	defer n.unlockAll()
+	for i := range n.chans {
+		n.chans[i].bal[0] = caps[i] / 2
+		n.chans[i].bal[1] = caps[i] / 2
+	}
+	return nil
 }
 
 // AssignFeesPaper assigns the fee model of the paper's Figure 9

@@ -597,8 +597,8 @@ const (
 // compare under them.
 type DynamicScenario struct {
 	Name  string // catalogue label (informational)
-	Kind  string // KindRipple, KindLightning or KindTestbed
-	Nodes int
+	Kind  string // KindRipple, KindLightning, KindTestbed or "snapshot:<path>"
+	Nodes int    // topology size; ignored by snapshot kinds
 
 	// Fixture, when non-empty, replaces the Kind topology and workload
 	// with a synthetic fixture. FixtureBarbell is the BuildContention
@@ -670,6 +670,11 @@ type DynamicScenario struct {
 	// seed plus a fixed ProbeWorkers replays identically with
 	// Workers ≤ 1; ≤ 1 is the sequential Algorithm 1 loop.
 	ProbeWorkers int
+
+	// TableCap bounds each sender shard's mice routing table to this
+	// many receiver entries, LRU-evicted (core.Config.TableCap). ≤ 0 —
+	// the default — keeps tables unbounded, byte-identical replay.
+	TableCap int
 }
 
 // DynamicSchemeResult pairs a scheme with its dynamic-run result.
@@ -872,6 +877,7 @@ func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
 			Scheme: scheme, Threshold: threshold,
 			K: sc.FlashK, M: sc.FlashM, MSet: sc.FlashMSet,
 			ProbeWorkers: sc.ProbeWorkers,
+			TableCap:     sc.TableCap,
 			Seed:         sc.Seed,
 		})
 		if err != nil {

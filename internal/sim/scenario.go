@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 
 	"repro/internal/baseline"
@@ -19,6 +20,14 @@ const (
 	KindRipple    = "ripple"    // scale-free, Ripple crawl density, $-denominated
 	KindLightning = "lightning" // scale-free, Lightning snapshot density, satoshi
 	KindTestbed   = "testbed"   // Watts–Strogatz small world (paper §5.2)
+
+	// KindSnapshotPrefix marks a kind of the form "snapshot:<path>":
+	// the topology and channel capacities are ingested from the file
+	// (LN channel-graph JSON or a Ripple capacity edge list — see
+	// topo.LoadSnapshotFile) instead of generated, and the scenario's
+	// node count is ignored. Balances split each ingested capacity
+	// evenly per direction; fees follow the paper's model, seeded.
+	KindSnapshotPrefix = "snapshot:"
 )
 
 // Scheme names understood by NewRouter.
@@ -80,6 +89,12 @@ type Scenario struct {
 	// to the seed engine. Only Flash variants consult it.
 	ProbeWorkers int
 
+	// TableCap bounds each sender shard's mice routing table to this
+	// many receiver entries, LRU-evicted (core.Config.TableCap). ≤ 0 —
+	// the default — keeps tables unbounded. Only Flash variants
+	// consult it; snapshot-scale runs use it to bound resident memory.
+	TableCap int
+
 	// ParallelSchemes runs the scenario's schemes concurrently, each on
 	// its own identically-seeded network and workload, instead of
 	// restoring one network between schemes. With sequential replay
@@ -117,6 +132,9 @@ func DefaultScenario(kind string, nodes int) Scenario {
 // the testbed kind draws uniform capacities in [lo, hi). Fees follow the
 // Figure 9 model on all kinds.
 func BuildNetwork(kind string, nodes int, scale float64, capLo, capHi float64, seed int64) (*pcn.Network, error) {
+	if path, ok := strings.CutPrefix(kind, KindSnapshotPrefix); ok {
+		return buildNetworkFromSnapshot(path, scale, seed)
+	}
 	rng := stats.NewRNG(seed, 0x70B0)
 	var (
 		g   *topo.Graph
@@ -155,6 +173,26 @@ func BuildNetwork(kind string, nodes int, scale float64, capLo, capHi float64, s
 	return net, nil
 }
 
+// buildNetworkFromSnapshot funds a network from an ingested snapshot:
+// capacities come from the file (split evenly per direction), fees from
+// the paper's seeded model, and the capacity scale factor applies as on
+// generated topologies.
+func buildNetworkFromSnapshot(path string, scale float64, seed int64) (*pcn.Network, error) {
+	snap, err := topo.LoadSnapshotFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sim: snapshot topology: %w", err)
+	}
+	net := pcn.New(snap.Graph)
+	if err := net.AssignBalancesFromCapacities(snap.Capacity); err != nil {
+		return nil, err
+	}
+	if scale > 0 && scale != 1 {
+		net.ScaleBalances(scale)
+	}
+	net.AssignFeesPaper(stats.NewRNG(seed, 0xFEE5))
+	return net, nil
+}
+
 // workloadFor builds the payment generator matching a topology kind:
 // Ripple trace sizes for Ripple and the testbed (the paper drives the
 // testbed with Ripple volumes), Bitcoin sizes for Lightning (with
@@ -164,7 +202,11 @@ func workloadFor(kind string, g *topo.Graph, seed int64) (*trace.Generator, erro
 	cfg := trace.DefaultConfig(g.NumNodes())
 	cfg.Graph = g
 	cfg.Seed = seed
-	if kind == KindLightning {
+	// Lightning-denominated topologies draw Bitcoin payment sizes: the
+	// generated Lightning kind, and ingested snapshots in the LN JSON
+	// format (".json" paths).
+	if kind == KindLightning ||
+		(strings.HasPrefix(kind, KindSnapshotPrefix) && strings.HasSuffix(strings.ToLower(kind), ".json")) {
 		cfg.Sizes = trace.BitcoinSizes
 	}
 	return trace.NewGenerator(cfg)
@@ -187,6 +229,12 @@ type RouterSpec struct {
 	ProbeAllK      bool // ablation: no early exit in Algorithm 1
 	ProbeWorkers   int  // per-session probe pool width (≤ 1 sequential)
 
+	// TableCap bounds each sender shard's mice routing table to this
+	// many receiver entries, LRU-evicted (core.Config.TableCap). ≤ 0 —
+	// the default — keeps tables unbounded, byte-identical to the
+	// historical engine.
+	TableCap int
+
 	Seed int64
 }
 
@@ -204,6 +252,7 @@ func BuildRouter(spec RouterSpec) (route.Router, error) {
 		cfg.FixedMiceOrder = spec.FixedMiceOrder
 		cfg.ProbeAllK = spec.ProbeAllK
 		cfg.ProbeWorkers = spec.ProbeWorkers
+		cfg.TableCap = spec.TableCap
 		cfg.Seed = spec.Seed
 		return core.New(cfg)
 	}
@@ -248,6 +297,7 @@ func (sc Scenario) routerSpec(scheme string, threshold float64, seed int64) Rout
 		K: sc.FlashK, M: sc.FlashM, MSet: sc.FlashMSet,
 		FixedMiceOrder: sc.FlashFixedMiceOrder, ProbeAllK: sc.FlashProbeAllK,
 		ProbeWorkers: sc.ProbeWorkers,
+		TableCap:     sc.TableCap,
 		Seed:         seed,
 	}
 }

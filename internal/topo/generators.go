@@ -11,6 +11,7 @@ func Ring(n int) *Graph {
 	for i := 0; i < n; i++ {
 		g.MustAddChannel(NodeID(i), NodeID((i+1)%n))
 	}
+	g.Compact()
 	return g
 }
 
@@ -20,6 +21,7 @@ func Line(n int) *Graph {
 	for i := 0; i+1 < n; i++ {
 		g.MustAddChannel(NodeID(i), NodeID(i+1))
 	}
+	g.Compact()
 	return g
 }
 
@@ -31,6 +33,7 @@ func Complete(n int) *Graph {
 			g.MustAddChannel(NodeID(i), NodeID(j))
 		}
 	}
+	g.Compact()
 	return g
 }
 
@@ -70,6 +73,7 @@ func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) (*Graph, error) {
 			}
 		}
 	}
+	g.Compact()
 	return g, nil
 }
 
@@ -117,6 +121,7 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) (*Graph, error) {
 			targets = append(targets, NodeID(v), u)
 		}
 	}
+	g.Compact()
 	return g, nil
 }
 

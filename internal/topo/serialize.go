@@ -81,6 +81,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			return nil, err
 		}
 	}
+	g.Compact()
 	return g, nil
 }
 
