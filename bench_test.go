@@ -14,6 +14,7 @@ package flash_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -471,6 +472,67 @@ func BenchmarkAdaptiveThreshold(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkTelemetry measures the observability tax on the dynamic
+// engine's 10k-payment reference cell. sink=off is the bare engine
+// (telemetry compiled in but disabled — the nil-sink fast path);
+// sink=live attaches what a running daemon serves (per-payment flow
+// records into the /flows ring plus every registry rollup behind
+// /metrics) — the events/sec delta of this cell is the live telemetry
+// overhead, with an acceptance bar of <5%; sink=jsonl adds the full
+// JSONL file export on top, whose per-record JSON text encoding is the
+// dominating extra cost (it runs on the sink's background writer
+// goroutine, so on multi-core hosts it overlaps the engine).
+// Recorded by the CI bench step into BENCH_telemetry.json.
+func BenchmarkTelemetry(b *testing.B) {
+	const rate = 1000 // arrivals per virtual second
+	base := flash.DynamicScenario{
+		Name:          "bench",
+		Kind:          "ripple",
+		Nodes:         200,
+		ScaleFactor:   10,
+		Duration:      10000.0 / rate,
+		Rate:          rate,
+		ChurnRate:     1,
+		RebalanceRate: 1,
+		Schemes:       []string{flash.SchemeShortestPath},
+		Seed:          1,
+	}
+	for _, mode := range []string{"off", "live", "jsonl"} {
+		b.Run("sink="+mode, func(b *testing.B) {
+			sc := base
+			var jsonl *flash.JSONLFlowSink
+			switch mode {
+			case "live":
+				sc.FlowSink = flash.NewFlowLog(1024)
+				sc.Registry = flash.NewMetricsRegistry()
+			case "jsonl":
+				jsonl = flash.NewJSONLFlowSink(io.Discard)
+				sc.FlowSink = flash.MultiFlowSink{flash.NewFlowLog(1024), jsonl}
+				sc.Registry = flash.NewMetricsRegistry()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			totalEvents := 0
+			for i := 0; i < b.N; i++ {
+				results, err := flash.RunDynamicScenario(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range results[0].Result.EventCounts {
+					totalEvents += c
+				}
+			}
+			b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/sec")
+			b.StopTimer()
+			if jsonl != nil {
+				if err := jsonl.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -7,6 +7,10 @@
 //	experiments                 # all figures, reduced scale (~2 min)
 //	experiments -full           # paper-scale parameters (tens of minutes)
 //	experiments -fig 6,8        # selected figures only
+//	experiments -telemetry 127.0.0.1:9090   # live /metrics + pprof
+//
+// -telemetry ADDR serves Go runtime metrics and /debug/pprof/ while
+// the figures run — useful for profiling a -full regeneration.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +32,21 @@ func main() {
 		probeW      = flag.Int("probeworkers", 1, "Flash per-session probe pool: probe N speculative elephant candidate paths concurrently (1 = sequential Algorithm 1)")
 		adaptiveThr = flag.Bool("adaptivethreshold", false, "re-calibrate Flash's elephant threshold on a rolling quantile in every dynamic-scenario cell")
 		topology    = flag.String("topology", "", "snapshot file (LN graph JSON or capacity edge list) replacing every figure's generated topology")
+		telAddr     = flag.String("telemetry", "", "serve runtime /metrics and pprof on this address while figures run")
 	)
 	flag.Parse()
+
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		srv, err := telemetry.NewServer(*telAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("# telemetry on http://%s/metrics\n", srv.Addr())
+	}
 
 	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout, Workers: *workers, ProbeWorkers: *probeW, AdaptiveThreshold: *adaptiveThr, Topology: *topology}
 	runners := map[string]func(exp.Options) error{

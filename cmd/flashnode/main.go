@@ -18,7 +18,13 @@
 //	flashnode -id 2 -listen 127.0.0.1:7002 ...
 //
 // With -pay RECEIVER:AMOUNT the node routes one payment with Flash and
-// exits with status 0 on success; otherwise it serves until interrupted.
+// exits with status 0 on success; otherwise it serves until interrupted
+// (SIGINT or SIGTERM), printing the router's final statistics on the
+// way out.
+//
+// -telemetry ADDR serves live observability while the node runs:
+// /metrics (Prometheus text), /metrics.json (JSON lines), /flows
+// (JSONL flow records; ?follow=1 streams) and /debug/pprof/.
 package main
 
 import (
@@ -29,11 +35,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/node"
 	"repro/internal/pcn"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -48,6 +57,7 @@ func main() {
 		k        = flag.Int("k", 20, "Flash elephant path budget")
 		m        = flag.Int("m", 4, "Flash mice paths per receiver")
 		timeout  = flag.Duration("timeout", 5*time.Second, "protocol reply timeout")
+		telAddr  = flag.String("telemetry", "", "serve /metrics, /flows and pprof on this address (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 	if *id < 0 || *topoPath == "" || *chanPath == "" || *peerPath == "" {
@@ -70,30 +80,89 @@ func main() {
 	n.SetPeers(peers)
 	fatalIf(loadChannels(n, g, *chanPath))
 
+	cfg := core.DefaultConfig(math.Inf(1)) // single payments: mice path is fine
+	cfg.K, cfg.M = *k, *m
+	router := core.New(cfg)
+
+	var flows *telemetry.FlowLog
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		sim.RegisterRouterMetrics(reg, router.Name(), router)
+		reg.GaugeFunc("node_messages_sent_total",
+			"Protocol messages written to peer connections by this node.",
+			func() float64 { return float64(n.MessagesSent()) })
+		flows = telemetry.NewFlowLog(1024)
+		srv, err := telemetry.NewServer(*telAddr, reg, flows)
+		fatalIf(err)
+		defer srv.Close()
+		fmt.Printf("flashnode %d telemetry on http://%s/metrics\n", *id, srv.Addr())
+	}
+
 	if *pay != "" {
 		var receiver topo.NodeID
 		var amount float64
 		_, err := fmt.Sscanf(*pay, "%d:%f", &receiver, &amount)
 		fatalIf(err)
-		cfg := core.DefaultConfig(math.Inf(1)) // single payment: mice path is fine
-		cfg.K, cfg.M = *k, *m
-		router := core.New(cfg)
 		sess, err := n.NewSession(receiver, amount)
 		fatalIf(err)
 		start := time.Now()
-		if err := router.Route(sess); err != nil {
-			fmt.Printf("payment of %g to %d FAILED after %v: %v\n", amount, receiver, time.Since(start), err)
+		rerr := router.Route(sess)
+		elapsed := time.Since(start)
+		if flows != nil {
+			emitNodeFlow(flows, router.Name(), n.ID(), sess, amount, elapsed, rerr == nil)
+		}
+		if rerr != nil {
+			fmt.Printf("payment of %g to %d FAILED after %v: %v\n", amount, receiver, elapsed, rerr)
+			printStats(router)
 			os.Exit(1)
 		}
-		fmt.Printf("payment of %g to %d delivered in %v over %d path(s), %d probe messages\n",
-			amount, receiver, time.Since(start), sess.PathsUsed(), sess.ProbeMessages())
+		fmt.Printf("payment of %g to %d delivered in %v over %d path(s), %d probe messages, %g fees paid\n",
+			amount, receiver, elapsed, sess.PathsUsed(), sess.ProbeMessages(), sess.FeesPaid())
+		printStats(router)
 		return
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("flashnode: shutting down")
+	printStats(router)
+}
+
+// printStats renders the router's final counters, the numbers the
+// simulator reports per run, so a daemon shutdown (or one-shot -pay)
+// leaves the same audit trail on stdout.
+func printStats(router *core.Flash) {
+	st := router.Stats()
+	fmt.Printf("router stats: elephants=%d mice=%d tableHits=%d tableMisses=%d tableEntries=%d invalidations=%d evictions=%d pathsReplaced=%d threshold=%g\n",
+		st.Elephants, st.Mice, st.TableHits, st.TableMisses, st.TableEntries,
+		st.TableInvalidations, st.TableEvictions, st.PathsReplaced, router.Threshold())
+}
+
+// emitNodeFlow records the one-shot payment as a telemetry flow record
+// so -pay runs with -telemetry leave an inspectable trace on /flows.
+func emitNodeFlow(sink telemetry.Sink, scheme string, sender topo.NodeID, sess *node.Session, amount float64, elapsed time.Duration, delivered bool) {
+	r := telemetry.AcquireFlow()
+	r.Scheme = scheme
+	r.Sender = int64(sender)
+	r.Receiver = int64(sess.Receiver())
+	r.Amount = amount
+	r.Class = telemetry.ClassMouse // threshold is +Inf for one-shot payments
+	r.Attempts = 1
+	r.ProbeRounds = sess.ProbeOps()
+	r.ProbeMessages = int64(sess.ProbeMessages())
+	r.CommitMessages = int64(sess.CommitMessages())
+	r.Paths = sess.PathsUsed()
+	r.Fees = sess.FeesPaid()
+	r.Complete = elapsed.Seconds()
+	r.WallNS = elapsed.Nanoseconds()
+	r.Outcome = telemetry.OutcomeFailed
+	if delivered {
+		r.Outcome = telemetry.OutcomeDelivered
+	}
+	sink.Emit(r)
+	telemetry.ReleaseFlow(r)
 }
 
 func fatalIf(err error) {

@@ -33,6 +33,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -77,6 +79,9 @@ func main() {
 		service   = flag.Float64("service", 0, "mean virtual service time per payment in seconds; > 0 enables hold spans (funds stay locked until the commit event)")
 		adaptive  = flag.Bool("adaptivethreshold", false, "re-calibrate Flash's elephant threshold on a rolling quantile of arrival amounts (dynamic mode)")
 		thrWindow = flag.Float64("thresholdwindow", 0, "adaptive-threshold re-calibration cadence in virtual seconds (0 = time-series window)")
+
+		flows    = flag.String("flows", "", "write one JSON flow record per completed payment to this file (observer-only; '-' = stdout)")
+		jsonMode = flag.Bool("json", false, "print dynamic results as machine-readable JSON instead of the table (dynamic mode only)")
 	)
 	flag.Parse()
 
@@ -89,11 +94,18 @@ func main() {
 		conc = runtime.GOMAXPROCS(0)
 	}
 
+	sink, closeSink := openFlowSink(*flows)
+	defer closeSink()
+
 	if *dynamic || *scenario != "" {
 		runDynamic(*scenario, *kind, *nodes, *scale, *mice, splitList(*schemes), *seed, conc, *retries,
 			*arrival, *rate, *duration, *window, *churn, *rebalance, *latent, *peak, *service,
-			*flashK, *flashM, *probeW, *tableCap, *adaptive, *thrWindow)
+			*flashK, *flashM, *probeW, *tableCap, *adaptive, *thrWindow, sink, *jsonMode)
 		return
+	}
+	if *jsonMode {
+		fmt.Fprintln(os.Stderr, "flashsim: -json requires dynamic mode (-dynamic or -scenario)")
+		os.Exit(2)
 	}
 
 	sc := sim.Scenario{
@@ -113,6 +125,7 @@ func main() {
 		Retries:         *retries,
 		ProbeWorkers:    *probeW,
 		TableCap:        *tableCap,
+		FlowSink:        sink,
 	}
 	if *flashM >= 0 {
 		sc.FlashM = *flashM
@@ -141,14 +154,53 @@ func main() {
 	w.Flush()
 }
 
+// openFlowSink opens the -flows destination: a buffered JSONL sink on
+// the given path ('-' = stdout), or a nil sink (one branch on the hot
+// path) when the flag is unset. The returned close function flushes
+// and reports sink errors.
+func openFlowSink(path string) (telemetry.Sink, func()) {
+	if path == "" {
+		return nil, func() {}
+	}
+	var (
+		f   *os.File
+		err error
+	)
+	if path == "-" {
+		f = os.Stdout
+	} else if f, err = os.Create(path); err != nil {
+		fmt.Fprintln(os.Stderr, "flashsim:", err)
+		os.Exit(1)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	sink := telemetry.NewJSONLSink(bw)
+	return sink, func() {
+		ferr := sink.Close() // drain the async writer before flushing
+		if berr := bw.Flush(); ferr == nil {
+			ferr = berr
+		}
+		if f != os.Stdout {
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "flashsim: writing flows:", ferr)
+			os.Exit(1)
+		}
+	}
+}
+
 // runDynamic executes the discrete-event mode and prints the
 // per-window time series plus aggregates. All output is derived from
 // virtual time and seeded randomness, so identical invocations print
-// identical bytes (workers ≤ 1).
+// identical bytes (workers ≤ 1) — telemetry sinks included, which only
+// observe. jsonMode switches the report from the table renderer to one
+// indented JSON document per scheme.
 func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes []string,
 	seed int64, workers, retries int, arrival string, rate, duration, window,
 	churn, rebalance float64, latent int, peak, service float64, flashK, flashM, probeWorkers, tableCap int,
-	adaptive bool, thrWindow float64) {
+	adaptive bool, thrWindow float64, sink telemetry.Sink, jsonMode bool) {
 
 	var (
 		sc  sim.DynamicScenario
@@ -222,6 +274,7 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 		sc.FlashM = flashM
 		sc.FlashMSet = true
 	}
+	sc.FlowSink = sink
 
 	results, err := sim.RunDynamicScenario(sc)
 	if err != nil {
@@ -229,6 +282,15 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 		os.Exit(1)
 	}
 
+	if jsonMode {
+		for _, r := range results {
+			if err := sim.WriteDynamicJSON(os.Stdout, r.Scheme, r.Result); err != nil {
+				fmt.Fprintln(os.Stderr, "flashsim:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	fmt.Printf("# dynamic scenario=%s kind=%s nodes=%d scale=%g arrival=%s rate=%g/s duration=%gs service=%gs churn=%g/s rebalance=%g/s latent=%d seed=%d workers=%d retries=%d probeworkers=%d adaptivethr=%v\n",
 		sc.Name, sc.Kind, sc.Nodes, sc.ScaleFactor, sc.Arrival, sc.Rate, sc.Duration, sc.Service,
 		sc.ChurnRate, sc.RebalanceRate, sc.LatentChannels, sc.Seed, sc.Workers, sc.Retries, sc.ProbeWorkers,

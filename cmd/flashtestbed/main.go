@@ -9,6 +9,12 @@
 //	flashtestbed -nodes 50 -txns 10000               # Figure 12
 //	flashtestbed -nodes 100 -txns 10000              # Figure 13
 //	flashtestbed -nodes 20 -txns 500 -ranges 1000:1500
+//	flashtestbed -nodes 20 -txns 500 -telemetry 127.0.0.1:9090
+//
+// With -telemetry ADDR the run serves live /metrics, /metrics.json,
+// /flows (one JSONL record per payment; ?follow=1 streams) and
+// /debug/pprof/ for its duration. Telemetry is observer-only: results
+// are identical with it on or off.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/testbed"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -38,8 +45,26 @@ func main() {
 		schemes = flag.String("schemes", "Flash,Spider,ShortestPath", "schemes to compare (the paper's testbed set)")
 		ranges  = flag.String("ranges", "1000:1500,1500:2000,2000:2500", "capacity ranges lo:hi, comma separated")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-message-exchange timeout")
+		telAddr = flag.String("telemetry", "", "serve /metrics, /flows and pprof on this address for the run's duration")
 	)
 	flag.Parse()
+
+	var (
+		reg   *telemetry.Registry
+		flows *telemetry.FlowLog
+	)
+	if *telAddr != "" {
+		reg = telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		flows = telemetry.NewFlowLog(4096)
+		srv, err := telemetry.NewServer(*telAddr, reg, flows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashtestbed:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("# telemetry on http://%s/metrics\n", srv.Addr())
+	}
 
 	schemeList := strings.Split(*schemes, ",")
 	var rows []*row
@@ -56,7 +81,7 @@ func main() {
 		}
 		for run := 0; run < *runs; run++ {
 			runSeed := *seed + int64(run)*7919
-			if err := runOnce(*nodes, *txns, lo, hi, runSeed, *timeout, schemeList, byScheme); err != nil {
+			if err := runOnce(*nodes, *txns, lo, hi, runSeed, *timeout, schemeList, byScheme, reg, flows); err != nil {
 				fmt.Fprintln(os.Stderr, "flashtestbed:", err)
 				os.Exit(1)
 			}
@@ -102,7 +127,12 @@ type row struct {
 }
 
 func runOnce(nodes, txns int, lo, hi float64, seed int64, timeout time.Duration,
-	schemes []string, byScheme map[string]*row) error {
+	schemes []string, byScheme map[string]*row, reg *telemetry.Registry, flows *telemetry.FlowLog) error {
+	var nodeMsgs *telemetry.Counter
+	if reg != nil {
+		nodeMsgs = reg.Counter("testbed_node_messages_total",
+			"Protocol messages written to peer connections across all testbed nodes.")
+	}
 	rng := stats.NewRNG(seed, 0x7E57)
 	g, err := topo.WattsStrogatz(nodes, 4, 0.3, rng)
 	if err != nil {
@@ -139,7 +169,11 @@ func runOnce(nodes, txns int, lo, hi float64, seed int64, timeout time.Duration,
 			}
 			return r, err
 		}
-		m, err := c.RunWorkload(factory, payments, threshold)
+		tel := testbed.Telemetry{Scheme: scheme, Registry: reg}
+		if flows != nil { // a nil *FlowLog must not become a non-nil Sink
+			tel.Sink = flows
+		}
+		m, err := c.RunWorkloadObserved(factory, payments, threshold, 1, tel)
 		if err != nil {
 			c.Close()
 			return err
@@ -147,6 +181,9 @@ func runOnce(nodes, txns int, lo, hi float64, seed int64, timeout time.Duration,
 		if err := c.CheckConsistency(); err != nil {
 			c.Close()
 			return fmt.Errorf("%s: %w", scheme, err)
+		}
+		if nodeMsgs != nil {
+			nodeMsgs.Add(float64(c.MessagesSent()))
 		}
 		c.Close()
 		r := byScheme[scheme]

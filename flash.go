@@ -1,6 +1,7 @@
 package flash
 
 import (
+	"io"
 	"math/rand"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/testbed"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -163,6 +165,52 @@ func NamedDynamicScenario(name, kind string, nodes int) (DynamicScenario, error)
 // RunDynamicScenario executes a dynamic scenario across its schemes.
 func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
 	return sim.RunDynamicScenario(sc)
+}
+
+// Telemetry: observer-only flow records, a dependency-free metrics
+// registry, and the live HTTP endpoint (/metrics, /flows, pprof).
+// Attaching any of it never changes results — fingerprints and metrics
+// stay byte-identical with sinks on or off.
+type (
+	// FlowRecord is one payment's flight record (endpoints, class,
+	// attempts, probe/commit costs, fees, virtual times, outcome).
+	FlowRecord = telemetry.FlowRecord
+	// FlowSink receives one FlowRecord per completed payment.
+	FlowSink = telemetry.Sink
+	// JSONLFlowSink writes flow records as JSON lines.
+	JSONLFlowSink = telemetry.JSONLSink
+	// FlowLog is a bounded in-memory ring of recent flow records with
+	// live subscription (backs the /flows endpoint).
+	FlowLog = telemetry.FlowLog
+	// MultiFlowSink fans one record out to several sinks.
+	MultiFlowSink = telemetry.MultiSink
+	// MetricsRegistry holds counters, gauges and histograms with
+	// Prometheus-text and JSON-lines exporters.
+	MetricsRegistry = telemetry.Registry
+	// TelemetryServer serves /metrics, /flows and /debug/pprof/.
+	TelemetryServer = telemetry.Server
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewFlowLog returns a flow-record ring holding the last capacity
+// records.
+func NewFlowLog(capacity int) *FlowLog { return telemetry.NewFlowLog(capacity) }
+
+// NewJSONLFlowSink streams flow records to w as JSON lines.
+func NewJSONLFlowSink(w io.Writer) *JSONLFlowSink { return telemetry.NewJSONLSink(w) }
+
+// NewTelemetryServer binds addr and serves /metrics, /metrics.json,
+// /flows and /debug/pprof/ until Close. Either reg or flows may be nil.
+func NewTelemetryServer(addr string, reg *MetricsRegistry, flows *FlowLog) (*TelemetryServer, error) {
+	return telemetry.NewServer(addr, reg, flows)
+}
+
+// WriteDynamicJSON renders one scheme's dynamic result as an indented
+// JSON document (the flashsim -json format).
+func WriteDynamicJSON(out io.Writer, scheme string, res DynamicResult) error {
+	return sim.WriteDynamicJSON(out, scheme, res)
 }
 
 // Topology maintenance (gossip) and payment security (HTLC) — the two

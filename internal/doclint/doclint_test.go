@@ -30,6 +30,7 @@ var auditedPackages = []string{
 	"../graph",
 	"../stats",
 	"../parallel",
+	"../telemetry",
 }
 
 // TestExportedAPIDocumented parses every audited package (tests

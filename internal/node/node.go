@@ -78,10 +78,11 @@ type Node struct {
 	pendingMu sync.Mutex
 	pending   map[uint64]chan *wire.Message
 
-	ln      net.Listener
-	wg      sync.WaitGroup
-	closed  atomic.Bool
-	transID atomic.Uint64
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	transID  atomic.Uint64
+	msgsSent atomic.Int64
 }
 
 // peerConn serialises writes to one TCP connection.
@@ -250,6 +251,7 @@ func (n *Node) send(to topo.NodeID, msg *wire.Message) error {
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	n.msgsSent.Add(1)
 	if err := wire.WriteMessage(pc.conn, msg); err != nil {
 		// Drop the broken connection so the next send redials.
 		n.connMu.Lock()
@@ -262,6 +264,10 @@ func (n *Node) send(to topo.NodeID, msg *wire.Message) error {
 	}
 	return nil
 }
+
+// MessagesSent returns the cumulative number of wire messages this node
+// has written to peers — the daemon's telemetry gauge.
+func (n *Node) MessagesSent() int64 { return n.msgsSent.Load() }
 
 func (n *Node) connTo(to topo.NodeID) (*peerConn, error) {
 	n.connMu.Lock()

@@ -24,6 +24,7 @@ type Session struct {
 	finished bool
 
 	probeMsgs  int
+	probeOps   int
 	commitMsgs int
 	feesPaid   float64
 	netWait    time.Duration
@@ -46,8 +47,12 @@ func (n *Node) NewSession(receiver topo.NodeID, demand float64) (*Session, error
 	return &Session{n: n, receiver: receiver, demand: demand}, nil
 }
 
-// Compile-time check that Session satisfies the routing seam.
-var _ route.Session = (*Session)(nil)
+// Compile-time checks that Session satisfies the routing seam and
+// counts probe rounds for telemetry.
+var (
+	_ route.Session      = (*Session)(nil)
+	_ route.ProbeCounter = (*Session)(nil)
+)
 
 // Graph implements route.Session.
 func (s *Session) Graph() *topo.Graph { return s.n.graph }
@@ -113,6 +118,7 @@ func (s *Session) Probe(path []topo.NodeID) ([]pcn.HopInfo, error) {
 	}
 	hops := len(path) - 1
 	s.probeMsgs += 2 * hops
+	s.probeOps++
 	if len(reply.Capacity) != hops {
 		return nil, fmt.Errorf("node: probe returned %d capacities for %d hops", len(reply.Capacity), hops)
 	}
@@ -240,6 +246,10 @@ func (s *Session) Finished() bool { return s.finished }
 
 // ProbeMessages implements route.Session.
 func (s *Session) ProbeMessages() int { return s.probeMsgs }
+
+// ProbeOps implements route.ProbeCounter: distinct Probe round trips,
+// as opposed to the per-hop messages they cost.
+func (s *Session) ProbeOps() int { return s.probeOps }
 
 // CommitMessages implements route.Session.
 func (s *Session) CommitMessages() int { return s.commitMsgs }

@@ -96,6 +96,9 @@ type Network struct {
 
 	probeMessages  atomic.Int64 // cumulative, all sessions
 	commitMessages atomic.Int64
+	holdsPlaced    atomic.Int64 // partial-payment holds reserved
+	holdsCommitted atomic.Int64 // holds settled by commit/resume
+	holdsAborted   atomic.Int64 // holds released by abort/span-abort
 }
 
 // New creates a network over g with all balances zero. Balances are
@@ -416,6 +419,9 @@ func (n *Network) Restore(snap []float64) error {
 	}
 	n.probeMessages.Store(0)
 	n.commitMessages.Store(0)
+	n.holdsPlaced.Store(0)
+	n.holdsCommitted.Store(0)
+	n.holdsAborted.Store(0)
 	return nil
 }
 
@@ -426,6 +432,18 @@ func (n *Network) ProbeMessages() int64 { return n.probeMessages.Load() }
 // CommitMessages returns the cumulative number of commit-phase messages
 // (COMMIT/CONFIRM/REVERSE legs) sent by all payment sessions.
 func (n *Network) CommitMessages() int64 { return n.commitMessages.Load() }
+
+// HoldsPlaced returns the cumulative number of partial-payment holds
+// reserved by all sessions since construction or the last Restore.
+func (n *Network) HoldsPlaced() int64 { return n.holdsPlaced.Load() }
+
+// HoldsCommitted returns the cumulative number of holds settled by a
+// commit (including deferred commits applied at Resume).
+func (n *Network) HoldsCommitted() int64 { return n.holdsCommitted.Load() }
+
+// HoldsAborted returns the cumulative number of holds released without
+// settling — explicit aborts plus churn-invalidated span aborts.
+func (n *Network) HoldsAborted() int64 { return n.holdsAborted.Load() }
 
 // AssignBalancesLogNormal funds every channel with a log-normal total
 // (given median and shape sigma), split across the two directions:

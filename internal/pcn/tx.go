@@ -73,6 +73,7 @@ type Tx struct {
 	suspended   bool
 
 	probeMsgs  atomic.Int64 // atomic: Probe may run concurrently
+	probeOps   atomic.Int64 // distinct Probe calls, same concurrency note
 	commitMsgs int
 	feesPaid   float64
 
@@ -285,6 +286,7 @@ func (t *Tx) Probe(path []topo.NodeID) ([]HopInfo, error) {
 	t.net.unlockChannels(order)
 	t.net.probeMessages.Add(int64(2 * len(hops)))
 	t.probeMsgs.Add(int64(2 * len(hops)))
+	t.probeOps.Add(1)
 	return info, nil
 }
 
@@ -359,6 +361,7 @@ func (t *Tx) Hold(path []topo.NodeID, amount float64) error {
 		hops:   hops,
 		amount: amount,
 	})
+	t.net.holdsPlaced.Add(1)
 	return nil
 }
 
@@ -446,6 +449,7 @@ func (t *Tx) Commit() error {
 // self-offset credit from an earlier reverse-direction hold (see Hold)
 // is only sound because its creditor settles first.
 func (t *Tx) applyCommitLocked() {
+	t.net.holdsCommitted.Add(int64(len(t.holds)))
 	for _, h := range t.holds {
 		hops := len(h.path) - 1
 		t.net.commitMessages.Add(int64(2 * hops)) // CONFIRM + CONFIRM_ACK
@@ -483,6 +487,7 @@ func (t *Tx) Abort() error {
 // releaseHoldsLocked returns every reservation and accounts the
 // REVERSE messages. Callers must hold the locks of holdLockOrder().
 func (t *Tx) releaseHoldsLocked() {
+	t.net.holdsAborted.Add(int64(len(t.holds)))
 	for _, h := range t.holds {
 		hops := len(h.path) - 1
 		t.net.commitMessages.Add(int64(2 * hops)) // REVERSE + REVERSE_ACK
@@ -545,6 +550,11 @@ func (t *Tx) Finished() bool { return t.finished }
 
 // ProbeMessages returns the probe messages this session has sent.
 func (t *Tx) ProbeMessages() int { return int(t.probeMsgs.Load()) }
+
+// ProbeOps returns the number of distinct Probe calls this session has
+// made — probe rounds, as opposed to the per-hop messages they cost
+// (route.ProbeCounter).
+func (t *Tx) ProbeOps() int { return int(t.probeOps.Load()) }
 
 // CommitMessages returns the commit-phase messages this session has
 // sent.

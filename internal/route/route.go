@@ -126,6 +126,20 @@ type ParallelProber interface {
 // probing.
 var _ ParallelProber = (*pcn.Tx)(nil)
 
+// ProbeCounter is optionally implemented by Sessions that count probe
+// rounds — distinct Probe operations, as opposed to the messages those
+// probes cost (Session.ProbeMessages). Telemetry uses it to separate
+// "how often did routing look" from "how much did looking cost", the
+// probe-cost-vs-success friction axis; absence simply leaves the
+// flow-record field at zero.
+type ProbeCounter interface {
+	// ProbeOps returns the number of Probe calls made on this session.
+	ProbeOps() int
+}
+
+// Compile-time check: the in-memory transaction counts probe rounds.
+var _ ProbeCounter = (*pcn.Tx)(nil)
+
 // RandSource is optionally implemented by Sessions that carry a
 // deterministic per-payment random source. Routers that make random
 // choices (e.g. Flash's random mice path order, §3.3) should prefer it

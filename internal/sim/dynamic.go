@@ -10,6 +10,7 @@ import (
 	"repro/internal/pcn"
 	"repro/internal/route"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -96,6 +97,18 @@ type DynamicOptions struct {
 	// RecordLog retains the full applied-event log in the result (the
 	// fingerprint and per-kind counts are always available).
 	RecordLog bool
+
+	// FlowSink, when non-nil, receives one telemetry.FlowRecord per
+	// completed payment, stamped with virtual arrival/completion time
+	// and the span-abort outcome where churn invalidated a hold span.
+	// Registry, when non-nil, accumulates per-completion rollups
+	// (payment/outcome counters, volume, fees, message totals, an
+	// amount histogram, virtual-clock and threshold gauges), labelled by
+	// the router's scheme name. Both are strictly observer-only: the
+	// event log, fingerprint and metrics are byte-identical with or
+	// without them.
+	FlowSink telemetry.Sink
+	Registry *telemetry.Registry
 }
 
 // adaptiveMinSamples is the fewest arrivals a re-calibration boundary
@@ -159,11 +172,13 @@ func (r DynamicResult) WindowRatios() []float64 {
 // dynPayment is a payment moving through the engine: queued, in
 // service, or awaiting a retry.
 type dynPayment struct {
-	p       trace.Payment
-	attempt int
-	total   routeOutcome     // accumulated across attempts
-	done    chan routeResult // non-nil while in service on a goroutine
-	inline  routeResult      // outcome when routed inline (Workers ≤ 1)
+	p           trace.Payment
+	attempt     int
+	arrival     float64          // first-attempt virtual arrival instant
+	spanAborted bool             // latest attempt aborted at span resume
+	total       routeOutcome     // accumulated across attempts
+	done        chan routeResult // non-nil while in service on a goroutine
+	inline      routeResult      // outcome when routed inline (Workers ≤ 1)
 }
 
 type routeResult struct {
@@ -225,6 +240,7 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 	}
 	res := DynamicResult{Horizon: horizon}
 	fl, _ := r.(*core.Flash) // nil for non-Flash routers
+	obs := newDynObserver(r.Name(), opts.FlowSink, opts.Registry)
 
 	queue := event.NewQueue()
 	var clock event.Clock
@@ -317,7 +333,7 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 			if p.Sender == p.Receiver || p.Amount <= 0 {
 				continue
 			}
-			dp := &dynPayment{p: p}
+			dp := &dynPayment{p: p, arrival: at}
 			pending[int64(p.ID)] = dp
 			lookahead = dp
 			queue.Schedule(event.Event{Time: at, Kind: event.PaymentArrival, ID: int64(p.ID)})
@@ -466,6 +482,7 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 				dp.done = nil
 			}
 			busy--
+			dp.spanAborted = false // only the settling attempt's verdict counts
 			if result.err == nil && result.tx != nil {
 				// Settle the hold span: the deferred commit applies now —
 				// or aborts, if churn closed a held channel mid-span. The
@@ -482,6 +499,7 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 						result.out.fees = result.tx.FeesPaid()
 					} else {
 						res.SpanAborts++
+						dp.spanAborted = true
 					}
 				}
 			}
@@ -497,6 +515,9 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 				dp.total = routeOutcome{}
 				res.Aggregate.Record(dp.p.Amount, miceThreshold, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
 				windowFor(e.Time).Metrics.Record(dp.p.Amount, miceThreshold, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
+				if obs != nil {
+					obs.completed(dp.p, miceThreshold, t, dp.attempt+1, dp.arrival, e.Time, dp.spanAborted, curThreshold)
+				}
 			} else {
 				// Retry after a jittered virtual backoff: 50ms · 2^attempt,
 				// scaled by [0.5, 1.5) — long enough for the racing holds of
@@ -675,6 +696,14 @@ type DynamicScenario struct {
 	// many receiver entries, LRU-evicted (core.Config.TableCap). ≤ 0 —
 	// the default — keeps tables unbounded, byte-identical replay.
 	TableCap int
+
+	// FlowSink and Registry thread telemetry through every scheme's run
+	// (DynamicOptions.FlowSink/Registry). When Registry is set the
+	// per-scheme router statistics and network hold/message counters are
+	// also registered as scheme-labelled gauges. Observer-only; nil
+	// disables.
+	FlowSink telemetry.Sink
+	Registry *telemetry.Registry
 }
 
 // DynamicSchemeResult pairs a scheme with its dynamic-run result.
@@ -883,6 +912,10 @@ func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		if sc.Registry != nil {
+			RegisterRouterMetrics(sc.Registry, scheme, r)
+			RegisterNetworkMetrics(sc.Registry, scheme, net)
+		}
 		res, err := RunDynamic(net, r, stream, sc.Duration, churn, threshold, DynamicOptions{
 			Workers:           sc.Workers,
 			Seed:              sc.Seed,
@@ -892,6 +925,8 @@ func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
 			AdaptiveThreshold: sc.AdaptiveThreshold,
 			ThresholdWindow:   sc.ThresholdWindow,
 			MiceFraction:      sc.MiceFraction,
+			FlowSink:          sc.FlowSink,
+			Registry:          sc.Registry,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", scheme, err)

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/event"
+)
+
+// jsonMetrics is the machine-readable projection of Metrics: the
+// headline numbers plus the derived ratios, with durations in seconds.
+type jsonMetrics struct {
+	Payments       int     `json:"payments"`
+	Successes      int     `json:"successes"`
+	SuccessRatio   float64 `json:"successRatio"`
+	SuccessVolume  float64 `json:"successVolume"`
+	AttemptVolume  float64 `json:"attemptVolume"`
+	FeesPaid       float64 `json:"feesPaid"`
+	FeeRatio       float64 `json:"feeRatio"`
+	ProbeMessages  int64   `json:"probeMessages"`
+	CommitMessages int64   `json:"commitMessages"`
+	MeanDelaySec   float64 `json:"meanDelaySeconds"`
+}
+
+func metricsJSON(m Metrics) jsonMetrics {
+	return jsonMetrics{
+		Payments:       m.Payments,
+		Successes:      m.Successes,
+		SuccessRatio:   m.SuccessRatio(),
+		SuccessVolume:  m.SuccessVolume,
+		AttemptVolume:  m.AttemptVolume,
+		FeesPaid:       m.FeesPaid,
+		FeeRatio:       m.FeeRatio(),
+		ProbeMessages:  m.ProbeMessages,
+		CommitMessages: m.CommitMessages,
+		MeanDelaySec:   m.MeanDelay().Seconds(),
+	}
+}
+
+// jsonWindow is one time-series bucket with its effective threshold —
+// the threshold trajectory, window by window.
+type jsonWindow struct {
+	Start     float64     `json:"start"`
+	End       float64     `json:"end"`
+	Threshold float64     `json:"threshold"`
+	Metrics   jsonMetrics `json:"metrics"`
+}
+
+// jsonDynamicResult is the flashsim -json document for one scheme.
+type jsonDynamicResult struct {
+	Scheme           string         `json:"scheme"`
+	Horizon          float64        `json:"horizon"`
+	Aggregate        jsonMetrics    `json:"aggregate"`
+	Windows          []jsonWindow   `json:"windows"`
+	EventCounts      map[string]int `json:"eventCounts"`
+	Fingerprint      string         `json:"fingerprint"` // %016x of the event-log FNV-1a
+	SpanAborts       int            `json:"spanAborts"`
+	ThresholdUpdates int            `json:"thresholdUpdates"`
+	FinalThreshold   float64        `json:"finalThreshold"`
+}
+
+// WriteDynamicJSON renders one scheme's dynamic run as an indented JSON
+// document: aggregate and per-window metrics (the threshold trajectory
+// rides on the windows), per-kind event counts, the span-abort and
+// threshold-update totals, and the event-log fingerprint as a 16-digit
+// hex string. The document is a pure function of the DynamicResult —
+// map keys marshal sorted — so a deterministic run renders
+// byte-identical JSON, the same contract WriteDynamicResult keeps for
+// the table view.
+func WriteDynamicJSON(out io.Writer, scheme string, res DynamicResult) error {
+	doc := jsonDynamicResult{
+		Scheme:           scheme,
+		Horizon:          res.Horizon,
+		Aggregate:        metricsJSON(res.Aggregate),
+		Windows:          make([]jsonWindow, len(res.Windows)),
+		EventCounts:      make(map[string]int, event.NumKinds),
+		Fingerprint:      fmt.Sprintf("%016x", res.Fingerprint),
+		SpanAborts:       res.SpanAborts,
+		ThresholdUpdates: res.ThresholdUpdates,
+		FinalThreshold:   res.FinalThreshold,
+	}
+	for i, w := range res.Windows {
+		doc.Windows[i] = jsonWindow{Start: w.Start, End: w.End, Threshold: w.Threshold, Metrics: metricsJSON(w.Metrics)}
+	}
+	for k := 0; k < event.NumKinds; k++ {
+		if res.EventCounts[k] != 0 {
+			doc.EventCounts[event.Kind(k).String()] = res.EventCounts[k]
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

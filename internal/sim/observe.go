@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/pcn"
+	"repro/internal/route"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// emitFlow stamps one completed payment into a pooled flow record and
+// hands it to sink. Strictly observer-only: everything recorded is a
+// value the harness already computed; nothing here touches RNGs,
+// network state, or control flow.
+func emitFlow(sink telemetry.Sink, scheme string, p trace.Payment, miceThreshold float64, t routeOutcome, attempts int, arrival, complete float64, outcome string) {
+	rec := telemetry.AcquireFlow()
+	rec.ID = int64(p.ID)
+	rec.Scheme = scheme
+	rec.Sender = int64(p.Sender)
+	rec.Receiver = int64(p.Receiver)
+	rec.Amount = p.Amount
+	rec.Class = telemetry.ClassElephant
+	if p.Amount <= miceThreshold {
+		rec.Class = telemetry.ClassMouse
+	}
+	rec.Attempts = attempts
+	rec.ProbeRounds = t.probeOps
+	rec.ProbeMessages = t.probeMsgs
+	rec.CommitMessages = t.commitMsgs
+	rec.Paths = t.paths
+	rec.Fees = t.fees
+	rec.Arrival = arrival
+	rec.Complete = complete
+	rec.WallNS = int64(t.elapsed)
+	rec.Outcome = outcome
+	sink.Emit(rec)
+	telemetry.ReleaseFlow(rec)
+}
+
+// dynObserver is the dynamic engine's telemetry tap: per-completion
+// registry rollups plus flow-record emission. A nil observer — the
+// default when neither a sink nor a registry is configured — costs the
+// engine a single branch per completion.
+type dynObserver struct {
+	sink   telemetry.Sink
+	scheme string
+
+	payments, successes, failures, spanAborts *telemetry.Counter
+	volume, fees                              *telemetry.Counter
+	probeMsgs, commitMsgs                     *telemetry.Counter
+	amounts                                   *telemetry.Histogram
+	clock, threshold                          *telemetry.Gauge
+}
+
+// newDynObserver builds the tap, registering the scheme-labelled
+// instrument set when reg is non-nil. Returns nil when there is
+// nothing to observe into.
+func newDynObserver(scheme string, sink telemetry.Sink, reg *telemetry.Registry) *dynObserver {
+	if sink == nil && reg == nil {
+		return nil
+	}
+	o := &dynObserver{sink: sink, scheme: scheme}
+	if reg != nil {
+		lbl := `{scheme="` + scheme + `"}`
+		o.payments = reg.Counter("sim_payments_total"+lbl, "Payments completed, all outcomes.")
+		o.successes = reg.Counter("sim_payments_delivered_total"+lbl, "Payments fully delivered.")
+		o.failures = reg.Counter("sim_payments_failed_total"+lbl, "Payments undelivered after every attempt.")
+		o.spanAborts = reg.Counter("sim_span_aborts_total"+lbl, "Payments aborted by churn during a hold span.")
+		o.volume = reg.Counter("sim_success_volume"+lbl, "Delivered payment volume.")
+		o.fees = reg.Counter("sim_fees_paid"+lbl, "Total fees paid by delivered payments.")
+		o.probeMsgs = reg.Counter("sim_probe_messages_total"+lbl, "Probe messages across all attempts.")
+		o.commitMsgs = reg.Counter("sim_commit_messages_total"+lbl, "Commit-phase messages across all attempts.")
+		o.amounts = reg.Histogram("sim_payment_amount"+lbl, "Completed payment amounts.", telemetry.ExpBuckets(0.01, 10, 8))
+		o.clock = reg.Gauge("sim_virtual_clock_seconds"+lbl, "Virtual time of the latest completion.")
+		o.threshold = reg.Gauge("sim_elephant_threshold"+lbl, "Effective elephant classification threshold.")
+	}
+	return o
+}
+
+// completed records one settled payment: registry rollups and, when a
+// sink is attached, the flow record. All times are virtual seconds.
+func (o *dynObserver) completed(p trace.Payment, miceThreshold float64, t routeOutcome, attempts int, arrival, at float64, spanAborted bool, curThreshold float64) {
+	if o.payments != nil {
+		o.payments.Inc()
+		o.amounts.Observe(p.Amount)
+		o.probeMsgs.Add(float64(t.probeMsgs))
+		o.commitMsgs.Add(float64(t.commitMsgs))
+		switch {
+		case t.delivered:
+			o.successes.Inc()
+			o.volume.Add(p.Amount)
+			o.fees.Add(t.fees)
+		case spanAborted:
+			o.spanAborts.Inc()
+		default:
+			o.failures.Inc()
+		}
+		o.clock.Set(at)
+		o.threshold.Set(curThreshold)
+	}
+	if o.sink != nil {
+		outcome := telemetry.OutcomeFailed
+		switch {
+		case t.delivered:
+			outcome = telemetry.OutcomeDelivered
+		case spanAborted:
+			outcome = telemetry.OutcomeSpanAbort
+		}
+		emitFlow(o.sink, o.scheme, p, miceThreshold, t, attempts, arrival, at, outcome)
+	}
+}
+
+// RegisterRouterMetrics exposes a router's internal statistics as
+// scheme-labelled gauges on reg, read live at every scrape. Only
+// routers with statistics (core.Flash) register anything; every other
+// router is a no-op, so callers can pass whatever they run.
+func RegisterRouterMetrics(reg *telemetry.Registry, scheme string, r route.Router) {
+	fl, ok := r.(*core.Flash)
+	if !ok {
+		return
+	}
+	lbl := `{scheme="` + scheme + `"}`
+	stat := func(name, help string, get func(core.Stats) int64) {
+		reg.GaugeFunc("flash_"+name+lbl, help, func() float64 {
+			return float64(get(fl.Stats()))
+		})
+	}
+	stat("elephants_total", "Payments routed by the elephant algorithm.", func(s core.Stats) int64 { return int64(s.Elephants) })
+	stat("mice_total", "Payments routed by the mice algorithm.", func(s core.Stats) int64 { return int64(s.Mice) })
+	stat("table_hits_total", "Mice routing-table hits.", func(s core.Stats) int64 { return int64(s.TableHits) })
+	stat("table_misses_total", "Mice routing-table misses.", func(s core.Stats) int64 { return int64(s.TableMisses) })
+	stat("table_entries", "Live mice routing-table entries.", func(s core.Stats) int64 { return int64(s.TableEntries) })
+	stat("table_invalidations_total", "Routing-table entries invalidated by churn.", func(s core.Stats) int64 { return int64(s.TableInvalidations) })
+	stat("table_evictions_total", "Routing-table entries evicted by the cap.", func(s core.Stats) int64 { return int64(s.TableEvictions) })
+	stat("paths_replaced_total", "Mice paths replaced after probe failure.", func(s core.Stats) int64 { return int64(s.PathsReplaced) })
+	stat("threshold_updates_total", "Adaptive threshold re-calibrations.", func(s core.Stats) int64 { return int64(s.ThresholdUpdates) })
+	reg.GaugeFunc("flash_threshold"+lbl, "Current elephant classification threshold.", fl.Threshold)
+}
+
+// RegisterNetworkMetrics exposes a pcn network's cumulative message and
+// hold counters as scheme-labelled gauges on reg, read live at every
+// scrape.
+func RegisterNetworkMetrics(reg *telemetry.Registry, scheme string, net *pcn.Network) {
+	lbl := `{scheme="` + scheme + `"}`
+	reg.GaugeFunc("pcn_probe_messages_total"+lbl, "Probe messages sent by all sessions.", func() float64 {
+		return float64(net.ProbeMessages())
+	})
+	reg.GaugeFunc("pcn_commit_messages_total"+lbl, "Commit-phase messages sent by all sessions.", func() float64 {
+		return float64(net.CommitMessages())
+	})
+	reg.GaugeFunc("pcn_holds_placed_total"+lbl, "Partial-payment holds reserved.", func() float64 {
+		return float64(net.HoldsPlaced())
+	})
+	reg.GaugeFunc("pcn_holds_committed_total"+lbl, "Holds settled by commit or resume.", func() float64 {
+		return float64(net.HoldsCommitted())
+	})
+	reg.GaugeFunc("pcn_holds_aborted_total"+lbl, "Holds released by abort or span abort.", func() float64 {
+		return float64(net.HoldsAborted())
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/pcn"
 	"repro/internal/route"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -102,6 +103,11 @@ type Scenario struct {
 	// network construction and workload generation are pure functions of
 	// the run seed — so this is a pure wall-clock optimisation.
 	ParallelSchemes bool
+
+	// FlowSink, when non-nil, receives one telemetry.FlowRecord per
+	// completed payment across every scheme and run
+	// (sim.Options.FlowSink). Observer-only; metrics are unchanged.
+	FlowSink telemetry.Sink
 
 	Schemes []string
 	Runs    int
@@ -347,7 +353,7 @@ func RunScenario(sc Scenario) ([]SchemeResult, error) {
 	for i, s := range sc.Schemes {
 		results[i] = SchemeResult{Scheme: s}
 	}
-	opts := Options{Workers: sc.Concurrency, Retries: sc.Retries}
+	opts := Options{Workers: sc.Concurrency, Retries: sc.Retries, FlowSink: sc.FlowSink}
 	for run := 0; run < sc.Runs; run++ {
 		runSeed := sc.Seed + int64(run)*7919
 		opts.Seed = runSeed

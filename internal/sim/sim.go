@@ -26,6 +26,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/pcn"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -163,6 +164,12 @@ type Options struct {
 	// win by drawing a different mice path order. 0 — the default —
 	// preserves the historical single-attempt semantics exactly.
 	Retries int
+
+	// FlowSink, when non-nil, receives one telemetry.FlowRecord per
+	// completed payment (after its final attempt). Telemetry is strictly
+	// observer-only: a nil sink costs a single branch, and any sink
+	// leaves the replay's metrics and random sequences untouched.
+	FlowSink telemetry.Sink
 }
 
 // Run replays payments sequentially over net using r. miceThreshold
@@ -228,16 +235,22 @@ type routeOutcome struct {
 	elapsed    time.Duration
 	probeMsgs  int64
 	commitMsgs int64
+	probeOps   int
+	paths      int
 	fees       float64
 	delivered  bool
 }
 
 // add accumulates a later attempt into o (fees/delivered are taken
-// from the successful attempt; failed attempts pay no fees).
+// from the successful attempt; failed attempts pay no fees; paths
+// reflect the latest attempt — the one whose holds stood when the
+// payment settled).
 func (o *routeOutcome) add(a routeOutcome) {
 	o.elapsed += a.elapsed
 	o.probeMsgs += a.probeMsgs
 	o.commitMsgs += a.commitMsgs
+	o.probeOps += a.probeOps
+	o.paths = a.paths
 	o.fees += a.fees
 	o.delivered = o.delivered || a.delivered
 }
@@ -284,6 +297,8 @@ func attemptPayment(net *pcn.Network, r route.Router, p trace.Payment, rngSeed i
 		elapsed:    elapsed,
 		probeMsgs:  int64(tx.ProbeMessages()),
 		commitMsgs: int64(tx.CommitMessages()),
+		probeOps:   tx.ProbeOps(),
+		paths:      tx.PathsUsed(),
 		delivered:  rerr == nil,
 	}
 	if tx.Suspended() {
@@ -335,13 +350,16 @@ func attemptSeed(rngSeed int64, attempt int) int64 {
 // payments (self-pay, non-positive amount) are skipped, contributing
 // nothing. backoffSleep selects the concurrent replay's real jittered
 // sleep between attempts; the sequential replay retries immediately.
-func replayOne(net *pcn.Network, r route.Router, p trace.Payment, miceThreshold float64, m *Metrics, rngSeed int64, seeded bool, retries int, backoffSleep bool) error {
+// A non-nil sink receives the payment's flow record after its final
+// attempt, stamped with the trace timestamp as virtual time.
+func replayOne(net *pcn.Network, r route.Router, p trace.Payment, miceThreshold float64, m *Metrics, rngSeed int64, seeded bool, retries int, backoffSleep bool, sink telemetry.Sink) error {
 	if p.Sender == p.Receiver || p.Amount <= 0 {
 		return nil
 	}
 	var (
 		total      routeOutcome
 		backoffRNG *rand.Rand
+		attempts   int
 	)
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 && backoffSleep {
@@ -355,11 +373,20 @@ func replayOne(net *pcn.Network, r route.Router, p trace.Payment, miceThreshold 
 			return err
 		}
 		total.add(out)
+		attempts = attempt + 1
 		if out.delivered {
 			break
 		}
 	}
 	m.Record(p.Amount, miceThreshold, total.elapsed, total.probeMsgs, total.commitMsgs, total.fees, total.delivered)
+	if sink != nil {
+		vt := p.Time * trace.SecondsPerDay
+		outcome := telemetry.OutcomeFailed
+		if total.delivered {
+			outcome = telemetry.OutcomeDelivered
+		}
+		emitFlow(sink, r.Name(), p, miceThreshold, total, attempts, vt, vt, outcome)
+	}
 	return nil
 }
 
@@ -369,7 +396,7 @@ func replayOne(net *pcn.Network, r route.Router, p trace.Payment, miceThreshold 
 func runSequential(net *pcn.Network, r route.Router, payments []trace.Payment, miceThreshold float64, opts Options) (Metrics, error) {
 	var m Metrics
 	for _, p := range payments {
-		if err := replayOne(net, r, p, miceThreshold, &m, 0, false, opts.Retries, false); err != nil {
+		if err := replayOne(net, r, p, miceThreshold, &m, 0, false, opts.Retries, false, opts.FlowSink); err != nil {
 			return m, err
 		}
 	}
@@ -404,7 +431,7 @@ func runConcurrent(net *pcn.Network, r route.Router, payments []trace.Payment, m
 		}
 		p := payments[i]
 		seed := paymentSeed(opts.Seed, int64(p.ID))
-		if err := replayOne(net, r, p, miceThreshold, &shards[worker], seed, true, opts.Retries, true); err != nil {
+		if err := replayOne(net, r, p, miceThreshold, &shards[worker], seed, true, opts.Retries, true, opts.FlowSink); err != nil {
 			errOnce.Do(func() { firstErr = err })
 			failed.Store(true)
 		}

@@ -1,0 +1,341 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64, safe for concurrent
+// use (atomic bit-CAS, no locks on the hot path).
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increases the counter by v (v must be non-negative; negative
+// deltas are ignored to keep the counter monotone).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that can go up and down, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram: Observe counts each
+// value into the first bucket whose upper bound contains it (plus an
+// implicit +Inf bucket), and tracks the running sum and count. All
+// operations are lock-free atomics.
+type Histogram struct {
+	uppers  []float64 // ascending upper bounds, exclusive of +Inf
+	buckets []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.uppers, v) // first upper ≥ v
+	if i == len(h.uppers) {
+		i = len(h.buckets) - 1 // +Inf bucket
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets returns n upper bounds growing geometrically from start by
+// factor — the usual shape for payment amounts and message counts.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name   string // full name, optionally with a {label="..."} suffix
+	family string // name up to the label block
+	labels string // label block content without braces, "" if none
+	help   string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// value returns the instrument's scalar reading (histograms are
+// rendered structurally, not through this).
+func (m *metric) value() float64 {
+	switch m.kind {
+	case kindCounter:
+		return m.counter.Value()
+	case kindGauge:
+		return m.gauge.Value()
+	case kindGaugeFunc:
+		return m.fn()
+	}
+	return 0
+}
+
+// Registry is a small dependency-free metrics registry: counters,
+// gauges (stored or callback-backed) and fixed-bucket histograms,
+// exported in Prometheus text format or as JSON lines. Registration
+// is idempotent per name — asking for an existing name returns the
+// existing instrument — so harnesses that run several schemes against
+// one registry accumulate rather than collide. Instrument names may
+// carry a Prometheus-style label block ("sim_payments_total{scheme=
+// \"Flash\"}"); exporters group families and keep output sorted, so
+// scrapes of an unchanged registry are byte-identical.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// lookup returns the existing metric under name, checking the kind, or
+// registers a new one built by mk.
+func (r *Registry) lookup(name, help string, kind metricKind, mk func(*metric)) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %v (was %v)", name, kind, m.kind))
+		}
+		return m
+	}
+	family, labels := splitName(name)
+	m := &metric{name: name, family: family, labels: labels, help: help, kind: kind}
+	mk(m)
+	r.metrics[name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns (registering if needed) the counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter, func(m *metric) { m.counter = &Counter{} }).counter
+}
+
+// Gauge returns (registering if needed) the stored gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge, func(m *metric) { m.gauge = &Gauge{} }).gauge
+}
+
+// GaugeFunc registers a callback-backed gauge: fn is evaluated at every
+// export, which is how live daemons expose router and network counters
+// without copying them on the payment path. Re-registering a name
+// replaces its callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	m := r.lookup(name, help, kindGaugeFunc, func(m *metric) {})
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns (registering if needed) a histogram with the given
+// ascending upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, uppers []float64) *Histogram {
+	return r.lookup(name, help, kindHistogram, func(m *metric) {
+		h := &Histogram{
+			uppers:  append([]float64(nil), uppers...),
+			buckets: make([]atomic.Uint64, len(uppers)+1),
+		}
+		m.hist = h
+	}).hist
+}
+
+// snapshot returns the registered metrics sorted by (family, name) for
+// deterministic export.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	out := append([]*metric(nil), r.order...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].family != out[j].family {
+			return out[i].family < out[j].family
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// splitName separates "family{label=...}" into family and the label
+// block content (without braces).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// withLabel renders family{labels,extra} — merging an extra label (used
+// for histogram le="...") into an existing label block.
+func withLabel(family, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return family
+	case labels == "":
+		return family + "{" + extra + "}"
+	case extra == "":
+		return family + "{" + labels + "}"
+	}
+	return family + "{" + labels + "," + extra + "}"
+}
+
+// formatValue renders v the way Prometheus text format expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus exports every registered metric in the Prometheus
+// text exposition format, sorted by family and name, with one
+// HELP/TYPE header per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range r.snapshot() {
+		if m.family != lastFamily {
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.family, m.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.family, m.kind)
+			lastFamily = m.family
+		}
+		if m.kind == kindHistogram {
+			h := m.hist
+			cum := uint64(0)
+			for i, up := range h.uppers {
+				cum += h.buckets[i].Load()
+				fmt.Fprintf(&b, "%s %d\n", withLabel(m.family+"_bucket", m.labels, `le="`+formatValue(up)+`"`), cum)
+			}
+			fmt.Fprintf(&b, "%s %d\n", withLabel(m.family+"_bucket", m.labels, `le="+Inf"`), h.Count())
+			fmt.Fprintf(&b, "%s %s\n", withLabel(m.family+"_sum", m.labels, ""), formatValue(h.Sum()))
+			fmt.Fprintf(&b, "%s %d\n", withLabel(m.family+"_count", m.labels, ""), h.Count())
+			continue
+		}
+		fmt.Fprintf(&b, "%s %s\n", m.name, formatValue(m.value()))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSONLines exports every registered metric as one JSON object per
+// line ({"name","kind","value"}; histograms add "sum", "count" and a
+// "buckets" array of {"le","count"}), in the same sorted order as the
+// Prometheus exporter.
+func (r *Registry) WriteJSONLines(w io.Writer) error {
+	var buf []byte
+	for _, m := range r.snapshot() {
+		buf = append(buf, `{"name":`...)
+		buf = appendJSONString(buf, m.name)
+		buf = append(buf, `,"kind":`...)
+		buf = appendJSONString(buf, m.kind.String())
+		if m.kind == kindHistogram {
+			h := m.hist
+			buf = append(buf, `,"sum":`...)
+			buf = appendJSONFloat(buf, h.Sum())
+			buf = append(buf, `,"count":`...)
+			buf = strconv.AppendUint(buf, h.Count(), 10)
+			buf = append(buf, `,"buckets":[`...)
+			cum := uint64(0)
+			for i, up := range h.uppers {
+				if i > 0 {
+					buf = append(buf, ',')
+				}
+				cum += h.buckets[i].Load()
+				buf = append(buf, `{"le":`...)
+				buf = appendJSONFloat(buf, up)
+				buf = append(buf, `,"count":`...)
+				buf = strconv.AppendUint(buf, cum, 10)
+				buf = append(buf, '}')
+			}
+			buf = append(buf, `]}`...)
+		} else {
+			buf = append(buf, `,"value":`...)
+			buf = appendJSONFloat(buf, m.value())
+			buf = append(buf, '}')
+		}
+		buf = append(buf, '\n')
+	}
+	_, err := w.Write(buf)
+	return err
+}

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Server is the telemetry HTTP endpoint behind the daemons' -telemetry
+// flag: /metrics (Prometheus text), /metrics.json (JSON lines), /flows
+// (buffered flow records as JSONL; ?follow=1 streams live ones), and
+// the standard net/http/pprof handlers under /debug/pprof/.
+type Server struct {
+	reg   *Registry
+	flows *FlowLog
+	ln    net.Listener
+	srv   *http.Server
+	done  chan struct{}
+}
+
+// NewServer binds addr immediately (so flag typos fail fast) and serves
+// in a background goroutine. Either reg or flows may be nil; the
+// corresponding endpoints then report 404.
+func NewServer(addr string, reg *Registry, flows *FlowLog) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, flows: flows, ln: ln, done: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/flows", s.handleFlows)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on shutdown
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful when addr was ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close drains in-flight requests with a short grace period, then tears
+// the server down. Safe to call once.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	<-s.done
+	return err
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "flash telemetry\n\n/metrics\t\tPrometheus text format\n/metrics.json\tJSON lines\n/flows\t\tbuffered flow records (JSONL); ?follow=1 to stream\n/debug/pprof/\truntime profiles\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if s.reg == nil {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, req *http.Request) {
+	if s.reg == nil {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.reg.WriteJSONLines(w)
+}
+
+// handleFlows dumps the ring buffer as JSONL. With ?follow=1 it then
+// subscribes to live records and streams them until the client goes
+// away; a slow client misses records instead of stalling payments.
+func (s *Server) handleFlows(w http.ResponseWriter, req *http.Request) {
+	if s.flows == nil {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	var buf []byte
+	for _, rec := range s.flows.Snapshot() {
+		buf = rec.AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+	}
+	if req.URL.Query().Get("follow") == "" {
+		return
+	}
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	ch := s.flows.subscribe(256)
+	defer s.flows.unsubscribe(ch)
+	for {
+		select {
+		case rec := <-ch:
+			buf = rec.AppendJSON(buf[:0])
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+// RegisterRuntimeMetrics adds Go runtime gauges (goroutines, heap
+// bytes, GC cycles) to reg — the baseline set every daemon exposes.
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	reg.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/pcn"
 	"repro/internal/route"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -170,6 +171,124 @@ func (c *Cluster) RunWorkload(factory RouterFactory, payments []trace.Payment, m
 // real testbed, where each process routes locally) and are built
 // through factory under a lock on first use.
 func (c *Cluster) RunWorkloadOpts(factory RouterFactory, payments []trace.Payment, miceThreshold float64, workers int) (sim.Metrics, error) {
+	return c.RunWorkloadObserved(factory, payments, miceThreshold, workers, Telemetry{})
+}
+
+// Telemetry configures the observer tap of RunWorkloadObserved: a flow
+// sink receiving one record per payment, a registry accumulating
+// scheme-labelled workload counters, or both. The zero value disables
+// observation entirely, making RunWorkloadOpts and RunWorkloadObserved
+// interchangeable. Scheme labels the records and metrics (defaults to
+// "testbed" when empty).
+type Telemetry struct {
+	Scheme   string
+	Sink     telemetry.Sink
+	Registry *telemetry.Registry
+}
+
+// workloadObserver is the testbed's per-payment telemetry tap,
+// mirroring the simulator's: registry rollups plus flow records. The
+// testbed is a real-time harness, so records carry seconds since
+// workload start as their virtual arrival/completion stamps.
+type workloadObserver struct {
+	sink   telemetry.Sink
+	scheme string
+
+	payments, successes, failures *telemetry.Counter
+	volume, fees                  *telemetry.Counter
+	probeMsgs, commitMsgs         *telemetry.Counter
+}
+
+func newWorkloadObserver(tel Telemetry) *workloadObserver {
+	if tel.Sink == nil && tel.Registry == nil {
+		return nil
+	}
+	scheme := tel.Scheme
+	if scheme == "" {
+		scheme = "testbed"
+	}
+	o := &workloadObserver{sink: tel.Sink, scheme: scheme}
+	if reg := tel.Registry; reg != nil {
+		lbl := `{scheme="` + scheme + `"}`
+		o.payments = reg.Counter("testbed_payments_total"+lbl, "Payments completed, all outcomes.")
+		o.successes = reg.Counter("testbed_payments_delivered_total"+lbl, "Payments fully delivered.")
+		o.failures = reg.Counter("testbed_payments_failed_total"+lbl, "Payments undelivered.")
+		o.volume = reg.Counter("testbed_success_volume"+lbl, "Delivered payment volume.")
+		o.fees = reg.Counter("testbed_fees_paid"+lbl, "Total fees paid by delivered payments.")
+		o.probeMsgs = reg.Counter("testbed_probe_messages_total"+lbl, "Probe messages sent.")
+		o.commitMsgs = reg.Counter("testbed_commit_messages_total"+lbl, "Commit-phase messages sent.")
+	}
+	return o
+}
+
+// completed records one settled payment. Concurrent-safe: counters are
+// atomic and sinks are concurrent by contract, so workers call it
+// without coordination.
+func (o *workloadObserver) completed(p trace.Payment, miceThreshold float64, sess *node.Session, arrival, complete float64, wall time.Duration, delivered bool) {
+	if o.payments != nil {
+		o.payments.Inc()
+		o.probeMsgs.Add(float64(sess.ProbeMessages()))
+		o.commitMsgs.Add(float64(sess.CommitMessages()))
+		if delivered {
+			o.successes.Inc()
+			o.volume.Add(p.Amount)
+			o.fees.Add(sess.FeesPaid())
+		} else {
+			o.failures.Inc()
+		}
+	}
+	if o.sink != nil {
+		rec := telemetry.AcquireFlow()
+		rec.ID = int64(p.ID)
+		rec.Scheme = o.scheme
+		rec.Sender = int64(p.Sender)
+		rec.Receiver = int64(p.Receiver)
+		rec.Amount = p.Amount
+		rec.Class = telemetry.ClassElephant
+		if p.Amount <= miceThreshold {
+			rec.Class = telemetry.ClassMouse
+		}
+		rec.Attempts = 1
+		rec.ProbeRounds = sess.ProbeOps()
+		rec.ProbeMessages = int64(sess.ProbeMessages())
+		rec.CommitMessages = int64(sess.CommitMessages())
+		rec.Paths = sess.PathsUsed()
+		if delivered {
+			rec.Fees = sess.FeesPaid()
+		}
+		rec.Arrival = arrival
+		rec.Complete = complete
+		rec.WallNS = int64(wall)
+		outcome := telemetry.OutcomeFailed
+		if delivered {
+			outcome = telemetry.OutcomeDelivered
+		}
+		rec.Outcome = outcome
+		o.sink.Emit(rec)
+		telemetry.ReleaseFlow(rec)
+	}
+}
+
+// MessagesSent sums the wire messages every node in the cluster has
+// written — the live traffic gauge behind flashtestbed's -telemetry.
+func (c *Cluster) MessagesSent() int64 {
+	total := int64(0)
+	for _, n := range c.nodes {
+		if n != nil {
+			total += n.MessagesSent()
+		}
+	}
+	return total
+}
+
+// RunWorkloadObserved is RunWorkloadOpts with a telemetry tap: every
+// completed payment lands in tel's sink and registry as it settles, so
+// a live /metrics endpoint shows the workload progressing. Telemetry is
+// observer-only — the returned metrics are identical with or without
+// it.
+func (c *Cluster) RunWorkloadObserved(factory RouterFactory, payments []trace.Payment, miceThreshold float64, workers int, tel Telemetry) (sim.Metrics, error) {
+	obs := newWorkloadObserver(tel)
+	workloadStart := time.Now()
 	var (
 		routersMu sync.Mutex
 		routers   = make(map[topo.NodeID]route.Router)
@@ -216,7 +335,8 @@ func (c *Cluster) RunWorkloadOpts(factory RouterFactory, payments []trace.Paymen
 		}
 		start := time.Now()
 		rerr := r.Route(sess)
-		elapsed := time.Since(start)
+		end := time.Now()
+		elapsed := end.Sub(start)
 		if !sess.Finished() {
 			if aerr := sess.Abort(); aerr != nil {
 				fail(fmt.Errorf("testbed: payment %d unfinished and unabortable: %w", p.ID, aerr))
@@ -236,6 +356,11 @@ func (c *Cluster) RunWorkloadOpts(factory RouterFactory, payments []trace.Paymen
 		}
 		shards[worker].Record(p.Amount, miceThreshold, processing,
 			int64(sess.ProbeMessages()), int64(sess.CommitMessages()), sess.FeesPaid(), rerr == nil)
+		if obs != nil {
+			obs.completed(p, miceThreshold, sess,
+				start.Sub(workloadStart).Seconds(), end.Sub(workloadStart).Seconds(),
+				elapsed, rerr == nil)
+		}
 	})
 
 	var m sim.Metrics
