@@ -537,6 +537,61 @@ func BenchmarkTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkLatencyModel measures the virtual-latency model on the
+// 10k-payment dynamic reference cell (hold spans on, so all three
+// cells run the same span machinery). model=off is the feature-off
+// guard: with no RTTs assigned every latency term is an exact zero
+// and the charging code reduces to one atomic flag read, so this cell
+// must show no regression against the pre-latency engine.
+// model=latency assigns seeded log-normal per-channel RTTs and
+// charges every probe, COMMIT and settle leg in virtual time;
+// model=latency+deadline additionally schedules an HTLC expiry for
+// every span that cannot settle inside the deadline (the 0.1s
+// deadline against a 0.05s mean service time expires ~13% of spans,
+// so the expiry path is genuinely exercised). Recorded by the CI
+// bench step into BENCH_latency.json.
+func BenchmarkLatencyModel(b *testing.B) {
+	const rate = 1000 // arrivals per virtual second
+	base := flash.DynamicScenario{
+		Name:          "bench",
+		Kind:          "ripple",
+		Nodes:         200,
+		ScaleFactor:   10,
+		Duration:      10000.0 / rate,
+		Rate:          rate,
+		ChurnRate:     1,
+		RebalanceRate: 1,
+		Service:       0.05,
+		Schemes:       []string{flash.SchemeShortestPath},
+		Seed:          1,
+	}
+	for _, mode := range []string{"off", "latency", "latency+deadline"} {
+		b.Run("model="+mode, func(b *testing.B) {
+			sc := base
+			switch mode {
+			case "latency":
+				sc.LatencyMedian, sc.LatencySigma = 0.02, 0.8
+			case "latency+deadline":
+				sc.LatencyMedian, sc.LatencySigma = 0.02, 0.8
+				sc.Deadline = 0.1
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			totalEvents := 0
+			for i := 0; i < b.N; i++ {
+				results, err := flash.RunDynamicScenario(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range results[0].Result.EventCounts {
+					totalEvents += c
+				}
+			}
+			b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
 // BenchmarkFullSimulation2000 measures a complete 2000-payment Flash
 // simulation run — the unit of every figure sweep.
 func BenchmarkFullSimulation2000(b *testing.B) {

@@ -1,0 +1,124 @@
+// Command covergate is the repository's coverage ratchet: it computes
+// total statement coverage from a `go test -coverprofile` file and
+// fails (exit 1) when it has dropped more than an allowed slack below
+// the committed baseline, so coverage regressions surface in CI
+// instead of eroding silently. When coverage rises, the gate passes
+// and prints the new figure so the baseline can be ratcheted up.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	covergate -profile cover.out -baseline coverage_baseline.txt
+//	covergate -profile cover.out -baseline coverage_baseline.txt -update
+//
+// The baseline file holds one number: total statement coverage in
+// percent. -update rewrites it with the profile's current total (the
+// ratchet click, reviewed like any other diff).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+		baseline = flag.String("baseline", "coverage_baseline.txt", "committed baseline file (percent)")
+		slack    = flag.Float64("slack", 0.5, "allowed drop below the baseline in percentage points")
+		update   = flag.Bool("update", false, "rewrite the baseline with the profile's total and exit")
+	)
+	flag.Parse()
+
+	total, err := profileTotal(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(*baseline, []byte(fmt.Sprintf("%.2f\n", total)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("covergate: baseline updated to %.2f%%\n", total)
+		return
+	}
+	want, err := readBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("covergate: total statement coverage %.2f%% (baseline %.2f%%, slack %.2fpt)\n", total, want, *slack)
+	if total < want-*slack {
+		fmt.Fprintf(os.Stderr, "covergate: FAIL: coverage dropped %.2fpt below the baseline\n", want-total)
+		os.Exit(1)
+	}
+	if total-want > 0.005 { // more than baseline-file rounding
+		fmt.Printf("covergate: coverage improved by %.2fpt — consider ratcheting the baseline (-update)\n", total-want)
+	}
+}
+
+// profileTotal sums a cover profile's statement counts: the percentage
+// of statements with a non-zero execution count, the same total
+// `go tool cover -func` prints on its last line.
+func profileTotal(path string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var covered, total int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:l.c,l.c numStmts count
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return 0, fmt.Errorf("%s:%d: want 3 fields, got %d", path, lineNo, len(fields))
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s:%d: statements: %w", path, lineNo, err)
+		}
+		count, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s:%d: count: %w", path, lineNo, err)
+		}
+		total += stmts
+		if count > 0 {
+			covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("%s: no statements in profile", path)
+	}
+	return 100 * float64(covered) / float64(total), nil
+}
+
+// readBaseline parses the single-number baseline file.
+func readBaseline(path string) (float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(string(b)), 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covergate:", err)
+	os.Exit(1)
+}

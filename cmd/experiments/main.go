@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		figs        = flag.String("fig", "all", "comma-separated figure list (3,4,6,7,8,9,10,11,12,13,headline,ablations,dynamic) or 'all'")
+		figs        = flag.String("fig", "all", "comma-separated figure list (3,4,6,7,8,9,10,11,12,13,headline,ablations,dynamic,latency) or 'all'")
 		full        = flag.Bool("full", false, "paper-scale parameters (slower)")
 		seed        = flag.Int64("seed", 1, "base random seed")
 		workers     = flag.Int("workers", 0, "goroutines for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
@@ -63,8 +63,9 @@ func main() {
 		"headline":  exp.Headline,
 		"ablations": exp.Ablations,
 		"dynamic":   exp.Dynamic,
+		"latency":   exp.Latency,
 	}
-	order := []string{"3", "4", "6", "7", "8", "9", "10", "11", "12", "13", "headline", "ablations", "dynamic"}
+	order := []string{"3", "4", "6", "7", "8", "9", "10", "11", "12", "13", "headline", "ablations", "dynamic", "latency"}
 
 	selected := map[string]bool{}
 	if *figs == "all" {

@@ -85,6 +85,7 @@ func main() {
 	router := core.New(cfg)
 
 	var flows *telemetry.FlowLog
+	var payLatency *telemetry.Histogram
 	if *telAddr != "" {
 		reg := telemetry.NewRegistry()
 		telemetry.RegisterRuntimeMetrics(reg)
@@ -92,6 +93,9 @@ func main() {
 		reg.GaugeFunc("node_messages_sent_total",
 			"Protocol messages written to peer connections by this node.",
 			func() float64 { return float64(n.MessagesSent()) })
+		payLatency = reg.Histogram("node_payment_latency_seconds",
+			"Wall-clock routing latency of payments sent by this node.",
+			telemetry.ExpBuckets(0.0001, 10, 8))
 		flows = telemetry.NewFlowLog(1024)
 		srv, err := telemetry.NewServer(*telAddr, reg, flows)
 		fatalIf(err)
@@ -109,6 +113,9 @@ func main() {
 		start := time.Now()
 		rerr := router.Route(sess)
 		elapsed := time.Since(start)
+		if payLatency != nil {
+			payLatency.Observe(elapsed.Seconds())
+		}
 		if flows != nil {
 			emitNodeFlow(flows, router.Name(), n.ID(), sess, amount, elapsed, rerr == nil)
 		}

@@ -30,6 +30,9 @@
 //	flashsim -scenario flash-crowd -duration 120 -window 10
 //	flashsim -scenario contention -retries 2          # hold-span contention on the barbell
 //	flashsim -scenario hub-failure -seed 7            # top-degree node fails mid-run
+//	flashsim -scenario latency-slo -probeworkers 4    # virtual RTTs + HTLC deadlines, piped probes
+//	flashsim -scenario griefing -deadline 0           # deadline-exhaustion attack, expiry disabled
+//	flashsim -dynamic -latency 0.05 -service 1 -deadline 5   # custom latency model
 package main
 
 import (
@@ -79,6 +82,11 @@ func main() {
 		service   = flag.Float64("service", 0, "mean virtual service time per payment in seconds; > 0 enables hold spans (funds stay locked until the commit event)")
 		adaptive  = flag.Bool("adaptivethreshold", false, "re-calibrate Flash's elephant threshold on a rolling quantile of arrival amounts (dynamic mode)")
 		thrWindow = flag.Float64("thresholdwindow", 0, "adaptive-threshold re-calibration cadence in virtual seconds (0 = time-series window)")
+		latency   = flag.Float64("latency", 0, "median per-channel virtual RTT in seconds, log-normally distributed (0 = latency-free, byte-identical to the pre-latency engine)")
+		latSigma  = flag.Float64("latencysigma", 0, "log-normal shape of the per-channel RTT distribution (0 = default 0.6)")
+		deadline  = flag.Float64("deadline", 0, "HTLC-style hold-span expiry in virtual seconds: suspended payments whose commit cannot settle in time abort at the deadline (0 = no expiry)")
+		griefFrac = flag.Float64("grieffrac", 0, "fraction of payments marked as griefers that pin their routes (dynamic mode, requires -service)")
+		griefHold = flag.Float64("griefhold", 0, "virtual seconds a griefer holds its route instead of the drawn service time")
 
 		flows    = flag.String("flows", "", "write one JSON flow record per completed payment to this file (observer-only; '-' = stdout)")
 		jsonMode = flag.Bool("json", false, "print dynamic results as machine-readable JSON instead of the table (dynamic mode only)")
@@ -100,7 +108,8 @@ func main() {
 	if *dynamic || *scenario != "" {
 		runDynamic(*scenario, *kind, *nodes, *scale, *mice, splitList(*schemes), *seed, conc, *retries,
 			*arrival, *rate, *duration, *window, *churn, *rebalance, *latent, *peak, *service,
-			*flashK, *flashM, *probeW, *tableCap, *adaptive, *thrWindow, sink, *jsonMode)
+			*flashK, *flashM, *probeW, *tableCap, *adaptive, *thrWindow,
+			*latency, *latSigma, *deadline, *griefFrac, *griefHold, sink, *jsonMode)
 		return
 	}
 	if *jsonMode {
@@ -200,7 +209,8 @@ func openFlowSink(path string) (telemetry.Sink, func()) {
 func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes []string,
 	seed int64, workers, retries int, arrival string, rate, duration, window,
 	churn, rebalance float64, latent int, peak, service float64, flashK, flashM, probeWorkers, tableCap int,
-	adaptive bool, thrWindow float64, sink telemetry.Sink, jsonMode bool) {
+	adaptive bool, thrWindow, latency, latSigma, deadline, griefFrac, griefHold float64,
+	sink telemetry.Sink, jsonMode bool) {
 
 	var (
 		sc  sim.DynamicScenario
@@ -261,6 +271,24 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 	if set["thresholdwindow"] || sc.ThresholdWindow == 0 {
 		sc.ThresholdWindow = thrWindow // likewise for a preset's cadence
 	}
+	// The latency/deadline/grief knobs default to 0 (off), so a preset's
+	// model survives unless the flag is given explicitly — which allows
+	// paired controls like `-scenario griefing -deadline 0`.
+	if set["latency"] {
+		sc.LatencyMedian = latency
+	}
+	if set["latencysigma"] {
+		sc.LatencySigma = latSigma
+	}
+	if set["deadline"] {
+		sc.Deadline = deadline
+	}
+	if set["grieffrac"] {
+		sc.GriefFrac = griefFrac
+	}
+	if set["griefhold"] {
+		sc.GriefHold = griefHold
+	}
 	sc.MiceFraction = mice
 	sc.Window = window
 	sc.Schemes = schemes
@@ -291,10 +319,17 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 		}
 		return
 	}
-	fmt.Printf("# dynamic scenario=%s kind=%s nodes=%d scale=%g arrival=%s rate=%g/s duration=%gs service=%gs churn=%g/s rebalance=%g/s latent=%d seed=%d workers=%d retries=%d probeworkers=%d adaptivethr=%v\n",
+	fmt.Printf("# dynamic scenario=%s kind=%s nodes=%d scale=%g arrival=%s rate=%g/s duration=%gs service=%gs churn=%g/s rebalance=%g/s latent=%d seed=%d workers=%d retries=%d probeworkers=%d adaptivethr=%v",
 		sc.Name, sc.Kind, sc.Nodes, sc.ScaleFactor, sc.Arrival, sc.Rate, sc.Duration, sc.Service,
 		sc.ChurnRate, sc.RebalanceRate, sc.LatentChannels, sc.Seed, sc.Workers, sc.Retries, sc.ProbeWorkers,
 		sc.AdaptiveThreshold)
+	// The latency-model header segment appears only when the model is
+	// live, so latency-free invocations print the historical bytes.
+	if sc.LatencyMedian > 0 || sc.Deadline > 0 || sc.GriefFrac > 0 {
+		fmt.Printf(" latency=%gs sigma=%g deadline=%gs grief=%g/%gs",
+			sc.LatencyMedian, sc.LatencySigma, sc.Deadline, sc.GriefFrac, sc.GriefHold)
+	}
+	fmt.Println()
 	for _, r := range results {
 		sim.WriteDynamicResult(os.Stdout, r.Scheme, r.Result, sc.AdaptiveThreshold)
 	}

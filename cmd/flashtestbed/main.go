@@ -118,6 +118,21 @@ func main() {
 	w.Flush()
 }
 
+// latencySink observes each payment's wall-clock latency into a
+// histogram before forwarding the flow record to the next sink, so the
+// testbed's /metrics exposes latency percentiles alongside /flows.
+type latencySink struct {
+	next telemetry.Sink
+	h    *telemetry.Histogram
+}
+
+func (s latencySink) Emit(r *telemetry.FlowRecord) {
+	s.h.Observe(float64(r.WallNS) / 1e9)
+	if s.next != nil {
+		s.next.Emit(r)
+	}
+}
+
 // row accumulates one scheme's results on one capacity range.
 type row struct {
 	scheme           string
@@ -129,9 +144,13 @@ type row struct {
 func runOnce(nodes, txns int, lo, hi float64, seed int64, timeout time.Duration,
 	schemes []string, byScheme map[string]*row, reg *telemetry.Registry, flows *telemetry.FlowLog) error {
 	var nodeMsgs *telemetry.Counter
+	var payLat *telemetry.Histogram
 	if reg != nil {
 		nodeMsgs = reg.Counter("testbed_node_messages_total",
 			"Protocol messages written to peer connections across all testbed nodes.")
+		payLat = reg.Histogram("testbed_payment_latency_seconds",
+			"Wall-clock routing latency of individual testbed payments.",
+			telemetry.ExpBuckets(0.0001, 10, 8))
 	}
 	rng := stats.NewRNG(seed, 0x7E57)
 	g, err := topo.WattsStrogatz(nodes, 4, 0.3, rng)
@@ -170,7 +189,14 @@ func runOnce(nodes, txns int, lo, hi float64, seed int64, timeout time.Duration,
 			return r, err
 		}
 		tel := testbed.Telemetry{Scheme: scheme, Registry: reg}
-		if flows != nil { // a nil *FlowLog must not become a non-nil Sink
+		switch { // a nil *FlowLog must not become a non-nil Sink
+		case payLat != nil:
+			s := latencySink{h: payLat}
+			if flows != nil {
+				s.next = flows
+			}
+			tel.Sink = s
+		case flows != nil:
 			tel.Sink = flows
 		}
 		m, err := c.RunWorkloadObserved(factory, payments, threshold, 1, tel)

@@ -139,6 +139,20 @@
 //     ThresholdUpdate events carrying the effective threshold, so the
 //     adaptive trajectory is part of the log fingerprint; off, the
 //     engine is byte-identical to the fixed-threshold behaviour.
+//   - The virtual latency model (DynamicScenario.LatencyMedian,
+//     -latency/-latencysigma) assigns every channel a seeded
+//     log-normal RTT; probe rounds charge the sum of their hop RTTs
+//     (a parallel probe round the max over its candidates), commit
+//     and settle legs their path round trips, and each payment
+//     completes at exactly arrival + probe + commit + service —
+//     surfaced as p50/p95/p99 completion-latency percentiles per
+//     window and as per-payment probe/commit latency in flow records.
+//     Hold spans gain HTLC-style deadlines (DynamicOptions.Deadline,
+//     -deadline): a span that cannot settle in time expires as a
+//     first-class event, releasing its funds
+//     (DynamicResult.DeadlineExpiries); -grieffrac/-griefhold stage a
+//     deadline-exhaustion attack against that defence. Latency off is
+//     byte-identical to the latency-free engine.
 //
 // Time model and determinism: events are totally ordered by (virtual
 // time, scheduling sequence); all randomness — arrival times, service
@@ -156,11 +170,12 @@
 //
 // A scenario catalogue (NamedDynamicScenario: "steady", "flash-crowd",
 // "depletion-rebalance", "churn", "contention", "hub-failure",
-// "demand-drift", "fee-war") drives
+// "demand-drift", "fee-war", "latency-slo", "griefing") drives
 // comparable cells across schemes; cmd/flashsim exposes it via
 // -dynamic/-scenario/-arrival/-rate/-duration/-churn/-service/
-// -retries, and internal/exp prints the dynamic-scenario table
-// alongside the paper's figures.
+// -retries/-latency/-deadline, and internal/exp prints the
+// dynamic-scenario table and the latency-model cells alongside the
+// paper's figures.
 //
 // See the examples directory for runnable programs, ARCHITECTURE.md
 // for the layer stack, concurrency models, determinism guarantees and

@@ -56,6 +56,35 @@ func (f *Flash) probePoolSize(s route.Session) int {
 	return w
 }
 
+// creditRoundOverlap corrects the session's virtual probe-latency
+// charge after one concurrent probe round: each probed candidate was
+// billed its full RTT sum by Probe, but the round's probes travelled
+// concurrently, so the round only advances virtual time by its slowest
+// candidate. The pipeline credits Σ(probed) − max(probed) back through
+// the route.LatencyMeter capability; sessions without it (or runs
+// without latency, where every path sum is 0) are untouched. This is
+// what makes ProbeWorkers visible in virtual-time delay metrics.
+func creditRoundOverlap(s route.Session, cands [][]topo.NodeID, needsProbe []bool, errs []error) {
+	lm, ok := s.(route.LatencyMeter)
+	if !ok {
+		return
+	}
+	var sum, maxLat int64
+	for i, p := range cands {
+		if !needsProbe[i] || errs[i] != nil {
+			continue
+		}
+		l := lm.PathLatencyNanos(p)
+		sum += l
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	if credit := sum - maxLat; credit > 0 {
+		lm.CreditProbeLatency(credit)
+	}
+}
+
 // unknownHops reports whether any hop of p is missing from the probed
 // capacity matrix. Probing records both directions of every on-path
 // channel, so a path made entirely of known hops carries no new
@@ -110,6 +139,7 @@ func (f *Flash) findElephantPathsPipelined(s route.Session, k, workers int) *ele
 				infos[i], errs[i] = s.Probe(cands[i])
 			}
 		})
+		creditRoundOverlap(s, cands, needsProbe, errs)
 
 		// Merge stage, strictly in candidate-index order.
 		for i, p := range cands {

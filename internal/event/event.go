@@ -59,9 +59,14 @@ const (
 	// (or re-confirmed) the router's classification threshold. Emitted
 	// by the engine itself, never by churn schedules.
 	ThresholdUpdate
+	// DeadlineExpiry is a held payment hitting its HTLC-style expiry
+	// deadline before its commit could settle: the hold is torn down,
+	// funds are released, and the attempt counts as failed. Emitted by
+	// the engine itself, never by churn schedules.
+	DeadlineExpiry
 
 	// NumKinds is the number of event kinds (for per-kind counters).
-	NumKinds = int(ThresholdUpdate) + 1
+	NumKinds = int(DeadlineExpiry) + 1
 )
 
 // String names the kind for logs and tables.
@@ -83,6 +88,8 @@ func (k Kind) String() string {
 		return "fee-shift"
 	case ThresholdUpdate:
 		return "threshold-update"
+	case DeadlineExpiry:
+		return "deadline-expiry"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -102,6 +109,8 @@ func (k Kind) String() string {
 //   - ThresholdUpdate: Amount is the effective elephant threshold
 //     after the re-calibration (stamped by the engine when applied, so
 //     the log fingerprint covers the adaptive trajectory).
+//   - DeadlineExpiry: ID is the payment ID and Attempt the retry
+//     attempt whose hold expired.
 type Event struct {
 	Time float64 // virtual seconds
 	Seq  uint64  // stamped by Queue.Schedule; total-order tie-break
@@ -116,7 +125,7 @@ type Event struct {
 // String renders the event for the deterministic log.
 func (e Event) String() string {
 	switch e.Kind {
-	case PaymentArrival, PaymentComplete:
+	case PaymentArrival, PaymentComplete, DeadlineExpiry:
 		return fmt.Sprintf("t=%.6f %s id=%d try=%d", e.Time, e.Kind, e.ID, e.Attempt)
 	case ChannelOpen, ChannelClose, Rebalance, FeeShift:
 		return fmt.Sprintf("t=%.6f %s %d-%d amt=%g", e.Time, e.Kind, e.A, e.B, e.Amount)

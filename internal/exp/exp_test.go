@@ -30,6 +30,7 @@ func TestEveryFigureRunsTiny(t *testing.T) {
 		{"Fig11", Fig11, "Figure 11"},
 		{"Headline", Headline, "Headline"},
 		{"Dynamic", Dynamic, "Dynamic scenarios"},
+		{"Latency", Latency, "Latency model"},
 		{"AblationElephantK", AblationElephantK, "elephant path budget"},
 		{"AblationMiceOrder", AblationMiceOrder, "mice path order"},
 		{"AblationProbeAllK", AblationProbeAllK, "Algorithm 1 termination"},

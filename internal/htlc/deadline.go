@@ -1,0 +1,46 @@
+package htlc
+
+import "math"
+
+// DefaultBlockInterval is the expected seconds per block used when a
+// caller has no chain-specific figure — Bitcoin's 10-minute target,
+// the clock the paper's offchain networks ultimately settle against.
+const DefaultBlockInterval = 600.0
+
+// BlocksForDeadline converts a virtual-time hold deadline in seconds
+// (sim.DynamicOptions.Deadline) into the number of blocks an HTLC
+// expiry must span given the chain's expected block interval. It
+// rounds up — a contract must never be refundable before the routing
+// layer considers the hold expired — and always spans at least one
+// block for any positive deadline. A non-positive deadline or
+// interval yields 0 (no expiry).
+func BlocksForDeadline(deadline, blockInterval float64) int64 {
+	if deadline <= 0 || blockInterval <= 0 {
+		return 0
+	}
+	n := int64(math.Ceil(deadline / blockInterval))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// DeadlineForBlocks is the inverse mapping: the virtual-second hold
+// budget a contract spanning blocks blocks affords under the given
+// block interval. Non-positive inputs yield 0.
+func DeadlineForBlocks(blocks int64, blockInterval float64) float64 {
+	if blocks <= 0 || blockInterval <= 0 {
+		return 0
+	}
+	return float64(blocks) * blockInterval
+}
+
+// ExpiryForDeadline returns the absolute block height at which a
+// contract opened now against chain must expire to honour a
+// virtual-second deadline, i.e. the Expiry argument to Ledger.Lock.
+// With per-hop time locks the sender stacks one BlocksForDeadline
+// increment per remaining hop so expiries decrease towards the
+// receiver (§2.1); this helper prices a single hop.
+func ExpiryForDeadline(chain *Chain, deadline, blockInterval float64) int64 {
+	return chain.Height() + BlocksForDeadline(deadline, blockInterval)
+}

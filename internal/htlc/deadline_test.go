@@ -1,0 +1,103 @@
+package htlc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topo"
+)
+
+func TestBlocksForDeadline(t *testing.T) {
+	cases := []struct {
+		deadline, interval float64
+		want               int64
+	}{
+		{0, 600, 0},                       // no deadline, no expiry
+		{-5, 600, 0},                      // negative deadline disables expiry
+		{5, 0, 0},                         // degenerate interval
+		{1, 600, 1},                       // sub-block deadline still spans a block
+		{600, 600, 1},                     // exactly one block
+		{601, 600, 2},                     // rounds up, never expires early
+		{1800, 600, 3},                    //
+		{4, 1, 4},                         // fast chains map 1:1 at integer seconds
+		{0.5, 0.25, 2},                    // fractional intervals
+		{math.Inf(1), 600, math.MaxInt64}, // documented below
+	}
+	for _, c := range cases {
+		got := BlocksForDeadline(c.deadline, c.interval)
+		if c.deadline == math.Inf(1) {
+			// Ceil(+Inf) overflows int64; we only require "huge".
+			if got < 1 {
+				t.Errorf("BlocksForDeadline(+Inf, %v) = %d, want >= 1", c.interval, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("BlocksForDeadline(%v, %v) = %d, want %d", c.deadline, c.interval, got, c.want)
+		}
+	}
+}
+
+// TestDeadlineBlocksRoundTrip pins the safety direction of the
+// conversion: the block span always affords at least the requested
+// virtual-second deadline (never less — an HTLC refundable before the
+// routing layer's deadline would let a counterparty race the refund).
+func TestDeadlineBlocksRoundTrip(t *testing.T) {
+	f := func(dRaw, iRaw uint16) bool {
+		deadline := 0.1 + float64(dRaw)/7.0
+		interval := 0.1 + float64(iRaw)/13.0
+		blocks := BlocksForDeadline(deadline, interval)
+		afford := DeadlineForBlocks(blocks, interval)
+		return afford >= deadline && afford < deadline+interval+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpiryForDeadline(t *testing.T) {
+	var chain Chain
+	chain.Advance(100)
+	if got := ExpiryForDeadline(&chain, 1200, 600); got != 102 {
+		t.Errorf("ExpiryForDeadline = %d, want 102", got)
+	}
+	if got := ExpiryForDeadline(&chain, 0, 600); got != 100 {
+		t.Errorf("ExpiryForDeadline with no deadline = %d, want current height 100", got)
+	}
+}
+
+// TestLockHonoursVirtualDeadline drives the conversion through the
+// ledger: a contract priced from a virtual deadline is claimable while
+// the chain is short of the expiry and refundable once the chain has
+// mined past it — the block-height shadow of the simulator's
+// DeadlineExpiry event.
+func TestLockHonoursVirtualDeadline(t *testing.T) {
+	l, net, chain := newLedger(t)
+	a, b := topo.NodeID(0), topo.NodeID(1)
+
+	secret, err := NewSecret(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deadline, interval = 1800.0, 600.0 // 3 blocks
+	id, err := l.Lock(a, b, 10, secret.Hash(), ExpiryForDeadline(chain, deadline, interval))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chain.Advance(2) // 1200 virtual seconds: inside the deadline
+	if err := l.Refund(id); err != ErrNotExpired {
+		t.Fatalf("refund inside deadline: got %v, want ErrNotExpired", err)
+	}
+	chain.Advance(1) // 1800s: deadline reached, contract expired
+	if err := l.Claim(id, secret); err != ErrExpired {
+		t.Fatalf("claim after deadline: got %v, want ErrExpired", err)
+	}
+	if err := l.Refund(id); err != nil {
+		t.Fatalf("refund after deadline: %v", err)
+	}
+	if got := net.Balance(a, b); got != 100 {
+		t.Errorf("refunded balance = %v, want 100", got)
+	}
+}

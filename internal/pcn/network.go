@@ -85,6 +85,14 @@ type channel struct {
 	held   [2]float64
 	fee    [2]FeeSchedule
 	closed bool
+
+	// rttNanos is the channel's virtual round-trip time in integer
+	// nanoseconds, charged once per protocol leg that crosses the hop
+	// (probe, COMMIT, CONFIRM/REVERSE). Zero — the default — keeps the
+	// historical instantaneous model. Latency is assigned before a
+	// replay starts and immutable afterwards, so sessions read it
+	// without the channel lock.
+	rttNanos int64
 }
 
 // Network is a payment channel network: a topology plus per-channel
@@ -99,6 +107,8 @@ type Network struct {
 	holdsPlaced    atomic.Int64 // partial-payment holds reserved
 	holdsCommitted atomic.Int64 // holds settled by commit/resume
 	holdsAborted   atomic.Int64 // holds released by abort/span-abort
+
+	hasLatency atomic.Bool // any channel carries a non-zero virtual RTT
 }
 
 // New creates a network over g with all balances zero. Balances are
@@ -352,6 +362,69 @@ func (n *Network) Fee(u, v topo.NodeID) FeeSchedule {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
 	return ch.fee[d]
+}
+
+// SetLatency sets the virtual round-trip time of the channel joining u
+// and v, in seconds (both directions share the RTT, as both share the
+// wire). Latencies are part of scenario construction: assign them
+// before payments start — they are read lock-free on the probe path.
+func (n *Network) SetLatency(u, v topo.NodeID, seconds float64) error {
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) || seconds < 0 {
+		return fmt.Errorf("pcn: latency for channel %d-%d must be non-negative and finite, got %v", u, v, seconds)
+	}
+	idx, _, err := n.dir(u, v)
+	if err != nil {
+		return err
+	}
+	n.chans[idx].rttNanos = int64(math.Round(seconds * 1e9))
+	if n.chans[idx].rttNanos > 0 {
+		n.hasLatency.Store(true)
+	}
+	return nil
+}
+
+// Latency returns the virtual RTT of the channel joining u and v in
+// seconds (0 if unset or no channel).
+func (n *Network) Latency(u, v topo.NodeID) float64 {
+	idx, _, err := n.dir(u, v)
+	if err != nil {
+		return 0
+	}
+	return float64(n.chans[idx].rttNanos) / 1e9
+}
+
+// HasLatency reports whether any channel carries a non-zero virtual
+// RTT — the engine's one branch deciding whether latency accounting is
+// live at all.
+func (n *Network) HasLatency() bool { return n.hasLatency.Load() }
+
+// latencyNanos returns channel idx's RTT in integer nanoseconds. All
+// internal latency arithmetic stays in int64 nanos: integer additions
+// commute exactly, so concurrent probe charging sums to the same total
+// in every interleaving — the float equivalent would make the digest
+// depend on accumulation order.
+func (n *Network) latencyNanos(idx int) int64 { return n.chans[idx].rttNanos }
+
+// AssignLatenciesLogNormal draws every channel's virtual RTT from a
+// log-normal distribution with the given median (seconds) and shape
+// sigma — heavy-tailed, like measured Lightning gossip latencies: most
+// channels sit near the median with a slow tail of distant peers.
+// Channel order is construction order (file order for ingested
+// snapshots), so a seeded rng maps real edges to latencies
+// deterministically.
+func (n *Network) AssignLatenciesLogNormal(rng *rand.Rand, median, sigma float64) {
+	n.lockAll()
+	defer n.unlockAll()
+	any := false
+	for i := range n.chans {
+		n.chans[i].rttNanos = int64(math.Round(logNormal(rng, median, sigma) * 1e9))
+		if n.chans[i].rttNanos > 0 {
+			any = true
+		}
+	}
+	if any {
+		n.hasLatency.Store(true)
+	}
 }
 
 // Capacity returns the total funds in the channel joining u and v (both

@@ -71,11 +71,18 @@ type Tx struct {
 	finished    bool
 	deferCommit bool
 	suspended   bool
+	// spanMu guards the suspended flag's check-and-clear so a deadline
+	// expiry racing a resume on the same span resolves to exactly one
+	// winner (the loser sees ErrNotSuspended). All other Tx state keeps
+	// the single-goroutine / happens-before contract.
+	spanMu sync.Mutex
 
-	probeMsgs  atomic.Int64 // atomic: Probe may run concurrently
-	probeOps   atomic.Int64 // distinct Probe calls, same concurrency note
-	commitMsgs int
-	feesPaid   float64
+	probeMsgs      atomic.Int64 // atomic: Probe may run concurrently
+	probeOps       atomic.Int64 // distinct Probe calls, same concurrency note
+	probeLatNanos  atomic.Int64 // virtual probe latency charged, same concurrency note
+	commitMsgs     int
+	commitLatNanos int64 // virtual commit-phase latency charged
+	feesPaid       float64
 
 	// Reusable scratch for the per-operation hop resolution and lock
 	// ordering, keeping Probe/Hold free of per-call slice allocations.
@@ -287,7 +294,20 @@ func (t *Tx) Probe(path []topo.NodeID) ([]HopInfo, error) {
 	t.net.probeMessages.Add(int64(2 * len(hops)))
 	t.probeMsgs.Add(int64(2 * len(hops)))
 	t.probeOps.Add(1)
+	if t.net.hasLatency.Load() {
+		t.probeLatNanos.Add(hopsLatNanos(t.net, hops))
+	}
 	return info, nil
+}
+
+// hopsLatNanos sums the virtual RTT of every hop — the cost of one
+// protocol leg travelling the path and its acknowledgement returning.
+func hopsLatNanos(n *Network, hops []pathHop) int64 {
+	var lat int64
+	for _, h := range hops {
+		lat += n.latencyNanos(h.idx)
+	}
+	return lat
 }
 
 // SupportsParallelProbe reports that concurrent Probe calls on this
@@ -329,6 +349,9 @@ func (t *Tx) Hold(path []topo.NodeID, amount float64) error {
 	}
 	t.net.commitMessages.Add(int64(2 * len(hops)))
 	t.commitMsgs += 2 * len(hops)
+	if t.net.hasLatency.Load() {
+		t.commitLatNanos += hopsLatNanos(t.net, hops) // COMMIT + COMMIT_ACK leg
+	}
 	order := t.lockOrder(hops)
 	t.net.lockChannels(order)
 	defer t.net.unlockChannels(order)
@@ -431,8 +454,10 @@ func (t *Tx) Commit() error {
 		return errors.New("pcn: nothing held to commit")
 	}
 	if t.deferCommit {
+		t.spanMu.Lock()
 		t.suspended = true
-		t.finished = true // the routing decision is made; only Resume may follow
+		t.spanMu.Unlock()
+		t.finished = true // the routing decision is made; only Resume or Expire may follow
 		return nil
 	}
 	order := t.holdLockOrder()
@@ -450,6 +475,9 @@ func (t *Tx) Commit() error {
 // is only sound because its creditor settles first.
 func (t *Tx) applyCommitLocked() {
 	t.net.holdsCommitted.Add(int64(len(t.holds)))
+	if t.net.hasLatency.Load() {
+		t.commitLatNanos += t.settleLatNanos() // CONFIRM legs, concurrent across paths
+	}
 	for _, h := range t.holds {
 		hops := len(h.path) - 1
 		t.net.commitMessages.Add(int64(2 * hops)) // CONFIRM + CONFIRM_ACK
@@ -488,6 +516,9 @@ func (t *Tx) Abort() error {
 // REVERSE messages. Callers must hold the locks of holdLockOrder().
 func (t *Tx) releaseHoldsLocked() {
 	t.net.holdsAborted.Add(int64(len(t.holds)))
+	if t.net.hasLatency.Load() {
+		t.commitLatNanos += t.settleLatNanos() // REVERSE legs, concurrent across paths
+	}
 	for _, h := range t.holds {
 		hops := len(h.path) - 1
 		t.net.commitMessages.Add(int64(2 * hops)) // REVERSE + REVERSE_ACK
@@ -506,8 +537,26 @@ func (t *Tx) releaseHoldsLocked() {
 func (t *Tx) DeferCommit() { t.deferCommit = true }
 
 // Suspended reports whether the session sits between a deferred Commit
-// and its Resume, with funds still locked on the network.
-func (t *Tx) Suspended() bool { return t.suspended }
+// and its Resume (or Expire), with funds still locked on the network.
+func (t *Tx) Suspended() bool {
+	t.spanMu.Lock()
+	defer t.spanMu.Unlock()
+	return t.suspended
+}
+
+// claimSpan atomically transitions the session out of the suspended
+// state, returning whether the caller won the claim. Resume and Expire
+// both go through it, so a deadline firing against a racing resume
+// settles the span exactly once.
+func (t *Tx) claimSpan() bool {
+	t.spanMu.Lock()
+	defer t.spanMu.Unlock()
+	if !t.suspended {
+		return false
+	}
+	t.suspended = false
+	return true
+}
 
 // Resume settles a suspended session: if every held channel is still
 // open the deferred commit applies (funds move, CONFIRM messages and
@@ -517,10 +566,9 @@ func (t *Tx) Suspended() bool { return t.suspended }
 // returns false. Calling Resume on a session that is not suspended
 // returns ErrNotSuspended.
 func (t *Tx) Resume() (bool, error) {
-	if !t.suspended {
+	if !t.claimSpan() {
 		return false, ErrNotSuspended
 	}
-	t.suspended = false
 	order := t.holdLockOrder()
 	t.net.lockChannels(order)
 	defer t.net.unlockChannels(order)
@@ -536,6 +584,22 @@ func (t *Tx) Resume() (bool, error) {
 	return true, nil
 }
 
+// Expire tears down a suspended span at its HTLC-style deadline: every
+// hold is released (REVERSE messages and settle latency are accounted)
+// and the payment counts as failed. Expire and Resume race safely on a
+// shared span — the suspended flag is claimed atomically, so exactly
+// one of them settles the funds and the other gets ErrNotSuspended.
+func (t *Tx) Expire() error {
+	if !t.claimSpan() {
+		return ErrNotSuspended
+	}
+	order := t.holdLockOrder()
+	t.net.lockChannels(order)
+	defer t.net.unlockChannels(order)
+	t.releaseHoldsLocked()
+	return nil
+}
+
 // clampDust zeroes float64 residue left by add/subtract round-off so a
 // fully released channel reports exactly zero held funds.
 func clampDust(v float64) float64 {
@@ -544,6 +608,68 @@ func clampDust(v float64) float64 {
 	}
 	return v
 }
+
+// settleLatNanos is the virtual latency of settling the session's
+// holds: the CONFIRM (or REVERSE) legs of all held paths travel
+// concurrently, so the cost is the max over paths, each path costing
+// the sum of its hop RTTs.
+func (t *Tx) settleLatNanos() int64 {
+	var lat int64
+	for _, h := range t.holds {
+		if l := hopsLatNanos(t.net, h.hops); l > lat {
+			lat = l
+		}
+	}
+	return lat
+}
+
+// ResumeLatencyNanos returns the virtual latency a Resume (or Expire)
+// of this session will charge — the concurrent settle legs over every
+// held path. The dynamic engine reads it when scheduling a suspended
+// span's settle event.
+func (t *Tx) ResumeLatencyNanos() int64 {
+	if !t.net.hasLatency.Load() {
+		return 0
+	}
+	return t.settleLatNanos()
+}
+
+// PathLatencyNanos returns the virtual RTT sum along path in integer
+// nanoseconds — what one probe of that path costs
+// (route.LatencyMeter). Unknown hops count zero; without latency
+// assignment it is 0 for every path, keeping the feature-off fast
+// path branch-cheap.
+func (t *Tx) PathLatencyNanos(path []topo.NodeID) int64 {
+	if !t.net.hasLatency.Load() {
+		return 0
+	}
+	var lat int64
+	for i := 0; i+1 < len(path); i++ {
+		if idx, _, err := t.net.dir(path[i], path[i+1]); err == nil {
+			lat += t.net.latencyNanos(idx)
+		}
+	}
+	return lat
+}
+
+// CreditProbeLatency subtracts nanos from the session's charged probe
+// latency (route.LatencyMeter). Flash's speculative probe pipeline
+// calls it after each parallel round: the round's candidates were
+// probed concurrently, so the wall-virtual cost is the max over the
+// round, not the sum Probe charged — the pipeline credits the
+// difference back. Integer nanos make the correction exact in any
+// interleaving.
+func (t *Tx) CreditProbeLatency(nanos int64) { t.probeLatNanos.Add(-nanos) }
+
+// ProbeLatencyNanos returns the virtual probe latency this session has
+// been charged, in integer nanoseconds (0 unless the network carries
+// latencies).
+func (t *Tx) ProbeLatencyNanos() int64 { return t.probeLatNanos.Load() }
+
+// CommitLatencyNanos returns the virtual commit-phase latency this
+// session has been charged — COMMIT legs of every hold plus the settle
+// legs once the session commits, aborts, resumes or expires.
+func (t *Tx) CommitLatencyNanos() int64 { return t.commitLatNanos }
 
 // Finished reports whether the session has been committed or aborted.
 func (t *Tx) Finished() bool { return t.finished }

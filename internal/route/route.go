@@ -105,6 +105,23 @@ type Yielder interface {
 // Compile-time check: the in-memory transaction supports hold spans.
 var _ Yielder = (*pcn.Tx)(nil)
 
+// Expirer is optionally implemented by Yielder sessions whose
+// suspended span can be torn down at an HTLC-style deadline instead of
+// resumed. Expire releases every hold — the payment counts as failed —
+// and is safe to race against Resume on the same span: exactly one of
+// the two settles the funds, the loser gets the implementation's
+// not-suspended error. Like Resume, Expire belongs to the harness that
+// armed the span (the dynamic engine's deadline events), never to
+// routers.
+type Expirer interface {
+	// Expire releases a suspended span's holds at its deadline.
+	Expire() error
+}
+
+// Compile-time check: the in-memory transaction supports deadline
+// expiry.
+var _ Expirer = (*pcn.Tx)(nil)
+
 // ParallelProber is optionally implemented by Sessions whose Probe is
 // safe for concurrent calls within one session. Routers with a probe
 // pool (core.Flash when Config.ProbeWorkers > 1) check this capability
@@ -139,6 +156,30 @@ type ProbeCounter interface {
 
 // Compile-time check: the in-memory transaction counts probe rounds.
 var _ ProbeCounter = (*pcn.Tx)(nil)
+
+// LatencyMeter is optionally implemented by Sessions that charge
+// virtual latency for protocol legs. A probe pipeline that measures
+// several candidate paths concurrently uses it to correct the charge
+// after each round: Probe bills every path its full RTT sum, but a
+// round of concurrent probes only advances virtual time by the
+// slowest candidate, so the pipeline credits Σ(round) − max(round)
+// back. All quantities are integer nanoseconds — integer adds commute
+// exactly, which is what keeps concurrent charging deterministic.
+// Absence of the interface (e.g. the TCP testbed session) simply
+// leaves probe charges uncorrected, which is right there: the wire
+// serialises its round trips.
+type LatencyMeter interface {
+	// PathLatencyNanos returns the virtual RTT sum along path — the
+	// latency one Probe of it is charged.
+	PathLatencyNanos(path []topo.NodeID) int64
+	// CreditProbeLatency subtracts nanos from the session's charged
+	// probe latency.
+	CreditProbeLatency(nanos int64)
+}
+
+// Compile-time check: the in-memory transaction meters virtual
+// latency.
+var _ LatencyMeter = (*pcn.Tx)(nil)
 
 // RandSource is optionally implemented by Sessions that carry a
 // deterministic per-payment random source. Routers that make random

@@ -98,6 +98,32 @@ type DynamicOptions struct {
 	// fingerprint and per-kind counts are always available).
 	RecordLog bool
 
+	// Deadline is the HTLC-style expiry of a hold span in virtual
+	// seconds: a suspended payment whose commit cannot settle within
+	// Deadline of its holds being locked expires instead — the engine
+	// schedules a DeadlineExpiry event at the deadline instant (in
+	// place of the attempt's PaymentComplete, so every attempt still
+	// settles exactly once), tears the holds down via the route.Expirer
+	// seam, and counts the attempt as failed
+	// (DynamicResult.DeadlineExpiries). 0 — the default — disables
+	// expiry and leaves the engine byte-identical to the historical
+	// behaviour. Only meaningful with Service > 0 (without spans no
+	// funds ever stay locked).
+	Deadline float64
+
+	// GriefFrac marks this fraction of payments as griefers: their
+	// drawn service time is overridden (never the draw itself, so
+	// grief-off runs stay byte-identical) with GriefHold, modelling an
+	// attacker who locks liquidity along the route and sits on it. The
+	// marking is a pure per-payment hash of (Seed, payment ID) —
+	// deterministic, independent of the schedule stream. Combined with
+	// Deadline > 0 the griefers' spans expire at the deadline and the
+	// victims recover; with Deadline = 0 the grief holds pin the
+	// liquidity for their full GriefHold. Only meaningful with
+	// Service > 0.
+	GriefFrac float64
+	GriefHold float64
+
 	// FlowSink, when non-nil, receives one telemetry.FlowRecord per
 	// completed payment, stamped with virtual arrival/completion time
 	// and the span-abort outcome where churn invalidated a hold span.
@@ -109,6 +135,30 @@ type DynamicOptions struct {
 	// without them.
 	FlowSink telemetry.Sink
 	Registry *telemetry.Registry
+
+	// audit, when non-nil, receives one schedAudit per settle/expiry/
+	// retry scheduling decision at Workers ≤ 1 — the exact components
+	// (latency, service, resume, backoff) that produced each event
+	// time, so property tests can re-derive every completion instant
+	// bit for bit. Test hook; nil in production.
+	audit func(schedAudit)
+}
+
+// schedAudit is one engine scheduling decision as reported to the
+// DynamicOptions.audit test hook: the components whose exact float64
+// sum (At + Lat + Service + ResumeLat, or At + Lat + Deadline for an
+// expiry, or At + Backoff for a retry) is the scheduled event's time.
+type schedAudit struct {
+	ID        int64
+	Attempt   int
+	At        float64 // decision instant (dispatch or settle time)
+	Lat       float64 // attempt probe+commit virtual latency, seconds
+	Service   float64 // effective virtual service time (0 for failed holds)
+	ResumeLat float64 // settle-leg latency of the suspended span
+	Backoff   float64 // retry backoff (Retry records only)
+	EventAt   float64 // the scheduled event's time
+	Expired   bool    // scheduled as a DeadlineExpiry
+	Retry     bool    // retry record: EventAt = At + Backoff
 }
 
 // adaptiveMinSamples is the fewest arrivals a re-calibration boundary
@@ -116,6 +166,11 @@ type DynamicOptions struct {
 // quantile estimate is noise, so the boundary keeps accumulating
 // instead.
 const adaptiveMinSamples = 20
+
+// griefSalt decorrelates the griefer-marking hash (trace.HashUnit over
+// the payment ID) from the per-payment routing seeds, which are
+// derived from the same ID.
+const griefSalt = 0x6F1EF
 
 // Window is one time-series bucket of a dynamic run. The final
 // window's End is clamped to the run horizon: payments still in flight
@@ -133,6 +188,11 @@ type Window struct {
 	Threshold float64
 
 	Metrics Metrics
+
+	// Latency summarises the completion latency (virtual completion −
+	// first arrival) of payments delivered in this window. Populated
+	// only when the run reports latency (DynamicResult.LatencyOn).
+	Latency LatencyStats
 }
 
 // DynamicResult is the outcome of a dynamic run: the familiar
@@ -157,6 +217,22 @@ type DynamicResult struct {
 	// threshold when the adaptive mode is off or never re-calibrated).
 	ThresholdUpdates int
 	FinalThreshold   float64
+
+	// LatencyOn reports whether the run carried a virtual latency model
+	// (per-channel RTTs on the network, or a hold-span deadline): when
+	// true, Latency and the per-window Latency stats are populated and
+	// the renderers show latency columns. False runs are byte-identical
+	// to the pre-latency engine.
+	LatencyOn bool
+
+	// Deadline echoes DynamicOptions.Deadline; DeadlineExpiries counts
+	// hold spans torn down at that deadline instead of settling.
+	Deadline         float64
+	DeadlineExpiries int
+
+	// Latency summarises completion latency (virtual completion − first
+	// arrival) over all delivered payments, when LatencyOn.
+	Latency LatencyStats
 }
 
 // WindowRatios renders the per-window success ratios (for quick
@@ -175,7 +251,9 @@ type dynPayment struct {
 	p           trace.Payment
 	attempt     int
 	arrival     float64          // first-attempt virtual arrival instant
+	dispatched  float64          // latest attempt's dispatch instant
 	spanAborted bool             // latest attempt aborted at span resume
+	expired     bool             // latest attempt expired at its deadline
 	total       routeOutcome     // accumulated across attempts
 	done        chan routeResult // non-nil while in service on a goroutine
 	inline      routeResult      // outcome when routed inline (Workers ≤ 1)
@@ -251,6 +329,25 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 	// DynamicOptions.Service). Service = 0 keeps the atomic-at-dispatch
 	// path, bit-identical to the pre-hold-span engine.
 	spans := opts.Service > 0
+
+	// Virtual latency model: per-channel RTTs on the network shift
+	// every settle event by the attempt's charged probe/commit legs;
+	// Deadline > 0 arms HTLC-style expiry of hold spans. Both off — the
+	// default — leave every event time and the schedule stream
+	// byte-identical to the latency-free engine (the latency terms are
+	// exact float zeros, never drawn).
+	latOn := net.HasLatency()
+	deadline := opts.Deadline
+	if deadline < 0 || !spans {
+		deadline = 0
+	}
+	latencyReport := latOn || deadline > 0
+	res.LatencyOn = latencyReport
+	res.Deadline = deadline
+	grief := opts.GriefFrac
+	if !spans || grief < 0 {
+		grief = 0
+	}
 
 	// Schedule randomness (service times, retry backoffs) is its own
 	// seeded stream, independent of routing, so event timestamps do not
@@ -349,11 +446,18 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 	// deferred — and the completion event settles the span.
 	dispatch := func(dp *dynPayment, t float64) {
 		busy++
+		dp.dispatched = t
 		service := 0.0
 		if opts.Service > 0 {
 			// Drawn unconditionally, so the schedule stream's consumption
 			// never depends on routing outcomes.
 			service = schedRNG.ExpFloat64() * opts.Service
+			if grief > 0 && trace.HashUnit(opts.Seed, int64(dp.p.ID)^griefSalt) < grief {
+				// Griefer: override the drawn value (never the draw itself,
+				// so grief-off runs replay byte-identically) with the
+				// attacker's hold duration.
+				service = opts.GriefHold
+			}
 		}
 		seed := attemptSeed(paymentSeed(opts.Seed, int64(dp.p.ID)), dp.attempt)
 		attempt := func(p trace.Payment) routeResult {
@@ -373,12 +477,52 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 				// service span (residency is the holds, not the station).
 				service = 0
 			}
-		} else {
-			dp.done = make(chan routeResult, 1)
-			go func(p trace.Payment, done chan routeResult) {
-				done <- attempt(p)
-			}(dp.p, dp.done)
+			// Virtual latency: the attempt's charged probe and commit legs
+			// delay the routing decision, and a suspended span's settle
+			// legs delay its resume. Both terms are exact zeros when the
+			// network carries no RTTs, so the event time below reduces to
+			// the historical t + service bit for bit.
+			lat := 0.0
+			if latOn {
+				lat = float64(dp.inline.out.probeLatNanos+dp.inline.out.commitLatNanos) / 1e9
+			}
+			resumeLat := 0.0
+			if dp.inline.tx != nil {
+				resumeLat = float64(dp.inline.tx.ResumeLatencyNanos()) / 1e9
+			}
+			if deadline > 0 && dp.inline.tx != nil && service+resumeLat > deadline {
+				// The span cannot settle within its HTLC deadline: the
+				// expiry event replaces the attempt's PaymentComplete, so
+				// every attempt still settles exactly once.
+				at := t + lat + deadline
+				queue.Schedule(event.Event{
+					Time: at, Kind: event.DeadlineExpiry,
+					ID: int64(dp.p.ID), Attempt: dp.attempt,
+				})
+				if opts.audit != nil {
+					opts.audit(schedAudit{ID: int64(dp.p.ID), Attempt: dp.attempt, At: t,
+						Lat: lat, Service: service, ResumeLat: resumeLat, EventAt: at, Expired: true})
+				}
+				return
+			}
+			at := t + lat + service + resumeLat
+			queue.Schedule(event.Event{
+				Time: at, Kind: event.PaymentComplete,
+				ID: int64(dp.p.ID), Attempt: dp.attempt,
+			})
+			if opts.audit != nil {
+				opts.audit(schedAudit{ID: int64(dp.p.ID), Attempt: dp.attempt, At: t,
+					Lat: lat, Service: service, ResumeLat: resumeLat, EventAt: at})
+			}
+			return
 		}
+		dp.done = make(chan routeResult, 1)
+		go func(p trace.Payment, done chan routeResult) {
+			done <- attempt(p)
+		}(dp.p, dp.done)
+		// Concurrent stations learn the attempt's outcome — and its
+		// latency charge — only at harvest time; the completion handler
+		// re-schedules the settle past the service time when needed.
 		queue.Schedule(event.Event{
 			Time: t + service, Kind: event.PaymentComplete,
 			ID: int64(dp.p.ID), Attempt: dp.attempt,
@@ -467,33 +611,91 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 			// payment's residency on the network is modelled by its
 			// locked holds, not by station occupancy — every arrival
 			// must probe the network exactly as it stands at its own
-			// arrival instant, in-flight holds included.
-			if busy < workers || (spans && workers == 1) {
+			// arrival instant, in-flight holds included. The same holds
+			// with a latency model: the settle event lands after the
+			// charged legs, but the routing itself still executes at the
+			// arrival instant, so delayed settles must not queue arrivals.
+			if busy < workers || ((spans || latOn) && workers == 1) {
 				dispatch(dp, e.Time)
 			} else {
 				waitQ = append(waitQ, e.ID)
 			}
 
-		case event.PaymentComplete:
+		case event.PaymentComplete, event.DeadlineExpiry:
 			dp := pending[e.ID]
 			result := dp.inline
 			if dp.done != nil {
 				result = <-dp.done
 				dp.done = nil
+				// Concurrent stations learn the outcome — and its virtual
+				// latency — only now, after the service time. When a
+				// latency model is live, re-schedule the settle (or the
+				// deadline expiry, clamped so the clock never runs
+				// backwards) as a second event; the station stays busy
+				// until it lands. With latency off both terms are zero and
+				// the attempt settles right here, as it always did.
+				lat := 0.0
+				if latOn {
+					lat = float64(result.out.probeLatNanos+result.out.commitLatNanos) / 1e9
+				}
+				resumeLat := 0.0
+				if result.tx != nil {
+					resumeLat = float64(result.tx.ResumeLatencyNanos()) / 1e9
+				}
+				if deadline > 0 && result.tx != nil && e.Time-dp.dispatched+resumeLat > deadline {
+					dp.inline = result
+					at := dp.dispatched + deadline
+					if at < e.Time {
+						at = e.Time
+					}
+					queue.Schedule(event.Event{
+						Time: at, Kind: event.DeadlineExpiry,
+						ID: e.ID, Attempt: dp.attempt,
+					})
+					continue
+				}
+				if lat+resumeLat > 0 {
+					dp.inline = result
+					queue.Schedule(event.Event{
+						Time: e.Time + lat + resumeLat, Kind: event.PaymentComplete,
+						ID: e.ID, Attempt: dp.attempt,
+					})
+					continue
+				}
 			}
 			busy--
 			dp.spanAborted = false // only the settling attempt's verdict counts
-			if result.err == nil && result.tx != nil {
+			dp.expired = false
+			if e.Kind == event.DeadlineExpiry {
+				// The span's HTLC deadline passed before its commit could
+				// settle: tear the holds down and count the attempt as
+				// failed. Expire races Resume in general, but the engine
+				// schedules exactly one settle event per attempt, so here
+				// it must win.
+				if result.tx != nil {
+					if rerr := result.tx.Expire(); rerr != nil {
+						result.err = rerr
+					} else {
+						res.DeadlineExpiries++
+						dp.expired = true
+						result.out.delivered = false
+						result.out.commitMsgs = int64(result.tx.CommitMessages())
+						result.out.commitLatNanos = result.tx.CommitLatencyNanos()
+						result.out.fees = 0
+					}
+				}
+			} else if result.err == nil && result.tx != nil {
 				// Settle the hold span: the deferred commit applies now —
 				// or aborts, if churn closed a held channel mid-span. The
-				// CONFIRM/REVERSE messages and any fees land here, so the
-				// accounting is re-read from the session.
+				// CONFIRM/REVERSE messages (and their latency) and any fees
+				// land here, so the accounting is re-read from the session.
 				committed, rerr := result.tx.Resume()
 				if rerr != nil {
 					result.err = rerr
 				} else {
 					result.out.delivered = committed
 					result.out.commitMsgs = int64(result.tx.CommitMessages())
+					result.out.commitLatNanos = result.tx.CommitLatencyNanos()
 					result.out.fees = 0
 					if committed {
 						result.out.fees = result.tx.FeesPaid()
@@ -514,9 +716,14 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 				t := dp.total
 				dp.total = routeOutcome{}
 				res.Aggregate.Record(dp.p.Amount, miceThreshold, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
-				windowFor(e.Time).Metrics.Record(dp.p.Amount, miceThreshold, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
+				w := windowFor(e.Time)
+				w.Metrics.Record(dp.p.Amount, miceThreshold, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
+				if latencyReport && t.delivered {
+					res.Latency.Observe(e.Time - dp.arrival)
+					w.Latency.Observe(e.Time - dp.arrival)
+				}
 				if obs != nil {
-					obs.completed(dp.p, miceThreshold, t, dp.attempt+1, dp.arrival, e.Time, dp.spanAborted, curThreshold)
+					obs.completed(dp.p, miceThreshold, t, dp.attempt+1, dp.arrival, e.Time, dp.spanAborted, dp.expired, curThreshold)
 				}
 			} else {
 				// Retry after a jittered virtual backoff: 50ms · 2^attempt,
@@ -527,6 +734,10 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 					Time: e.Time + backoff, Kind: event.PaymentArrival,
 					ID: e.ID, Attempt: dp.attempt + 1,
 				})
+				if opts.audit != nil {
+					opts.audit(schedAudit{ID: e.ID, Attempt: dp.attempt, At: e.Time,
+						Backoff: backoff, EventAt: e.Time + backoff, Retry: true})
+				}
 			}
 			if len(waitQ) > 0 && busy < workers {
 				next := waitQ[0]
@@ -680,6 +891,25 @@ type DynamicScenario struct {
 	FlashM    int
 	FlashMSet bool
 
+	// LatencyMedian, when positive, assigns every channel a virtual RTT
+	// drawn log-normally with this median (seconds) and shape
+	// LatencySigma (default 0.6 when unset) from a scenario-seeded
+	// stream — the latency model every scheme replays identically.
+	// Zero leaves the network latency-free: every event time is
+	// byte-identical to the pre-latency engine.
+	LatencyMedian float64
+	LatencySigma  float64
+
+	// Deadline is the hold-span HTLC expiry in virtual seconds
+	// (DynamicOptions.Deadline); 0 disables expiry.
+	Deadline float64
+
+	// GriefFrac/GriefHold configure the griefing attack
+	// (DynamicOptions.GriefFrac/GriefHold): that fraction of payments
+	// hold their routes for GriefHold virtual seconds.
+	GriefFrac float64
+	GriefHold float64
+
 	Schemes []string
 	Workers int
 	Retries int
@@ -718,7 +948,7 @@ const FixtureBarbell = "barbell"
 
 // DynamicScenarioNames lists the scenario catalogue in presentation
 // order.
-var DynamicScenarioNames = []string{"steady", "flash-crowd", "depletion-rebalance", "churn", "contention", "hub-failure", "demand-drift", "fee-war"}
+var DynamicScenarioNames = []string{"steady", "flash-crowd", "depletion-rebalance", "churn", "contention", "hub-failure", "demand-drift", "fee-war", "latency-slo", "griefing"}
 
 // NamedDynamicScenario returns a catalogue scenario over the given
 // topology:
@@ -751,6 +981,17 @@ var DynamicScenarioNames = []string{"steady", "flash-crowd", "depletion-rebalanc
 //     mid-run. Success is largely unaffected (capacity is unchanged)
 //     but the fee ratio jumps in the post-shift windows, least for
 //     fee-optimising schemes.
+//   - "latency-slo": per-channel RTTs (log-normal, 50ms median) under
+//     hold spans with a 5s HTLC deadline — the latency-aware cell:
+//     completion-latency percentiles become first-class per-window
+//     metrics, and probe-heavy schemes pay their round trips in p95/
+//     p99. ProbeWorkers > 1 visibly compresses the probe latency.
+//   - "griefing": a deadline-exhaustion attack on the barbell bridge —
+//     the victim channel every payment crosses. 30% of payments are
+//     griefers holding their routes for 30s (vs the honest 2s mean);
+//     with the 4s deadline the griefers' spans expire and honest
+//     traffic recovers, while the -deadline=0 control shows the
+//     attack pinning the bridge liquidity unchallenged.
 func NamedDynamicScenario(name, kind string, nodes int) (DynamicScenario, error) {
 	sc := DynamicScenario{
 		Name:         name,
@@ -802,6 +1043,23 @@ func NamedDynamicScenario(name, kind string, nodes int) (DynamicScenario, error)
 	case "fee-war":
 		sc.FeeShiftFactor = 25
 		sc.FeeShiftFrac = 0.5
+	case "latency-slo":
+		sc.LatencyMedian = 0.05 // 50ms median per-channel RTT
+		sc.LatencySigma = 0.8
+		sc.Service = 1
+		sc.Deadline = 5
+	case "griefing":
+		sc.Fixture = FixtureBarbell
+		sc.Rate = 6
+		sc.Service = 2
+		sc.SpokeBalance = 1e6
+		sc.BridgeBalance = 80
+		sc.FixtureAmount = 10
+		sc.LatencyMedian = 0.02
+		sc.LatencySigma = 0.5
+		sc.GriefFrac = 0.3
+		sc.GriefHold = 30 // half the run: a griefed hold never drains on its own
+		sc.Deadline = 4
 	default:
 		return sc, fmt.Errorf("sim: unknown dynamic scenario %q (have %v)", name, DynamicScenarioNames)
 	}
@@ -902,6 +1160,17 @@ func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
 		default:
 			return nil, fmt.Errorf("sim: unknown dynamic fixture %q", sc.Fixture)
 		}
+		// The latency model is assigned after latent channels register,
+		// so channels that first open mid-run carry RTTs too; its RNG
+		// stream is independent of every other draw, so turning latency
+		// on never perturbs topology, balances, churn or workload.
+		if sc.LatencyMedian > 0 {
+			sigma := sc.LatencySigma
+			if sigma <= 0 {
+				sigma = 0.6
+			}
+			net.AssignLatenciesLogNormal(newLatencyRNG(sc.Seed), sc.LatencyMedian, sigma)
+		}
 		r, err := BuildRouter(RouterSpec{
 			Scheme: scheme, Threshold: threshold,
 			K: sc.FlashK, M: sc.FlashM, MSet: sc.FlashMSet,
@@ -925,6 +1194,9 @@ func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
 			AdaptiveThreshold: sc.AdaptiveThreshold,
 			ThresholdWindow:   sc.ThresholdWindow,
 			MiceFraction:      sc.MiceFraction,
+			Deadline:          sc.Deadline,
+			GriefFrac:         sc.GriefFrac,
+			GriefHold:         sc.GriefHold,
 			FlowSink:          sc.FlowSink,
 			Registry:          sc.Registry,
 		})
@@ -1166,3 +1438,8 @@ func nextExp(rng *rand.Rand, rate float64) float64 {
 // newChurnRNG derives the churn-schedule RNG (latent-channel selection
 // and event times) from a scenario seed.
 func newChurnRNG(seed int64) *rand.Rand { return stats.NewRNG(seed, 0xC402) }
+
+// newLatencyRNG derives the per-channel RTT assignment RNG from a
+// scenario seed — its own stream, so the latency model never perturbs
+// any other scenario draw.
+func newLatencyRNG(seed int64) *rand.Rand { return stats.NewRNG(seed, 0x1A7E) }

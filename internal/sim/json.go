@@ -38,13 +38,32 @@ func metricsJSON(m Metrics) jsonMetrics {
 	}
 }
 
+// jsonLatency is the machine-readable projection of LatencyStats:
+// completion-latency count, mean/max and the P² percentile estimates,
+// all in virtual seconds.
+type jsonLatency struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+func latencyJSON(l *LatencyStats) *jsonLatency {
+	return &jsonLatency{Count: l.Count, Mean: l.Mean(), Max: l.Max, P50: l.P50(), P95: l.P95(), P99: l.P99()}
+}
+
 // jsonWindow is one time-series bucket with its effective threshold —
-// the threshold trajectory, window by window.
+// the threshold trajectory, window by window. Latency is present
+// exactly when the run carried a latency model (DynamicResult.LatencyOn),
+// so latency-free documents are byte-identical to the pre-latency shape.
 type jsonWindow struct {
-	Start     float64     `json:"start"`
-	End       float64     `json:"end"`
-	Threshold float64     `json:"threshold"`
-	Metrics   jsonMetrics `json:"metrics"`
+	Start     float64      `json:"start"`
+	End       float64      `json:"end"`
+	Threshold float64      `json:"threshold"`
+	Metrics   jsonMetrics  `json:"metrics"`
+	Latency   *jsonLatency `json:"latency,omitempty"`
 }
 
 // jsonDynamicResult is the flashsim -json document for one scheme.
@@ -58,6 +77,12 @@ type jsonDynamicResult struct {
 	SpanAborts       int            `json:"spanAborts"`
 	ThresholdUpdates int            `json:"thresholdUpdates"`
 	FinalThreshold   float64        `json:"finalThreshold"`
+
+	// Latency-model extension, omitted entirely on latency-free runs so
+	// their documents stay byte-identical to the pre-latency shape.
+	Deadline         float64      `json:"deadline,omitempty"`
+	DeadlineExpiries int          `json:"deadlineExpiries,omitempty"`
+	Latency          *jsonLatency `json:"latency,omitempty"`
 }
 
 // WriteDynamicJSON renders one scheme's dynamic run as an indented JSON
@@ -80,8 +105,17 @@ func WriteDynamicJSON(out io.Writer, scheme string, res DynamicResult) error {
 		ThresholdUpdates: res.ThresholdUpdates,
 		FinalThreshold:   res.FinalThreshold,
 	}
-	for i, w := range res.Windows {
+	if res.LatencyOn {
+		doc.Deadline = res.Deadline
+		doc.DeadlineExpiries = res.DeadlineExpiries
+		doc.Latency = latencyJSON(&res.Latency)
+	}
+	for i := range res.Windows {
+		w := &res.Windows[i]
 		doc.Windows[i] = jsonWindow{Start: w.Start, End: w.End, Threshold: w.Threshold, Metrics: metricsJSON(w.Metrics)}
+		if res.LatencyOn {
+			doc.Windows[i].Latency = latencyJSON(&w.Latency)
+		}
 	}
 	for k := 0; k < event.NumKinds; k++ {
 		if res.EventCounts[k] != 0 {

@@ -31,6 +31,8 @@ func emitFlow(sink telemetry.Sink, scheme string, p trace.Payment, miceThreshold
 	rec.Fees = t.fees
 	rec.Arrival = arrival
 	rec.Complete = complete
+	rec.ProbeLatency = float64(t.probeLatNanos) / 1e9
+	rec.CommitLatency = float64(t.commitLatNanos) / 1e9
 	rec.WallNS = int64(t.elapsed)
 	rec.Outcome = outcome
 	sink.Emit(rec)
@@ -46,9 +48,10 @@ type dynObserver struct {
 	scheme string
 
 	payments, successes, failures, spanAborts *telemetry.Counter
+	expiries                                  *telemetry.Counter
 	volume, fees                              *telemetry.Counter
 	probeMsgs, commitMsgs                     *telemetry.Counter
-	amounts                                   *telemetry.Histogram
+	amounts, latency                          *telemetry.Histogram
 	clock, threshold                          *telemetry.Gauge
 }
 
@@ -66,11 +69,13 @@ func newDynObserver(scheme string, sink telemetry.Sink, reg *telemetry.Registry)
 		o.successes = reg.Counter("sim_payments_delivered_total"+lbl, "Payments fully delivered.")
 		o.failures = reg.Counter("sim_payments_failed_total"+lbl, "Payments undelivered after every attempt.")
 		o.spanAborts = reg.Counter("sim_span_aborts_total"+lbl, "Payments aborted by churn during a hold span.")
+		o.expiries = reg.Counter("sim_deadline_expiries_total"+lbl, "Hold spans expired at their HTLC deadline.")
 		o.volume = reg.Counter("sim_success_volume"+lbl, "Delivered payment volume.")
 		o.fees = reg.Counter("sim_fees_paid"+lbl, "Total fees paid by delivered payments.")
 		o.probeMsgs = reg.Counter("sim_probe_messages_total"+lbl, "Probe messages across all attempts.")
 		o.commitMsgs = reg.Counter("sim_commit_messages_total"+lbl, "Commit-phase messages across all attempts.")
 		o.amounts = reg.Histogram("sim_payment_amount"+lbl, "Completed payment amounts.", telemetry.ExpBuckets(0.01, 10, 8))
+		o.latency = reg.Histogram("sim_completion_latency_seconds"+lbl, "Virtual completion latency (completion − arrival) of settled payments.", telemetry.ExpBuckets(0.001, 10, 8))
 		o.clock = reg.Gauge("sim_virtual_clock_seconds"+lbl, "Virtual time of the latest completion.")
 		o.threshold = reg.Gauge("sim_elephant_threshold"+lbl, "Effective elephant classification threshold.")
 	}
@@ -79,10 +84,11 @@ func newDynObserver(scheme string, sink telemetry.Sink, reg *telemetry.Registry)
 
 // completed records one settled payment: registry rollups and, when a
 // sink is attached, the flow record. All times are virtual seconds.
-func (o *dynObserver) completed(p trace.Payment, miceThreshold float64, t routeOutcome, attempts int, arrival, at float64, spanAborted bool, curThreshold float64) {
+func (o *dynObserver) completed(p trace.Payment, miceThreshold float64, t routeOutcome, attempts int, arrival, at float64, spanAborted, expired bool, curThreshold float64) {
 	if o.payments != nil {
 		o.payments.Inc()
 		o.amounts.Observe(p.Amount)
+		o.latency.Observe(at - arrival)
 		o.probeMsgs.Add(float64(t.probeMsgs))
 		o.commitMsgs.Add(float64(t.commitMsgs))
 		switch {
@@ -90,6 +96,8 @@ func (o *dynObserver) completed(p trace.Payment, miceThreshold float64, t routeO
 			o.successes.Inc()
 			o.volume.Add(p.Amount)
 			o.fees.Add(t.fees)
+		case expired:
+			o.expiries.Inc()
 		case spanAborted:
 			o.spanAborts.Inc()
 		default:
@@ -103,6 +111,8 @@ func (o *dynObserver) completed(p trace.Payment, miceThreshold float64, t routeO
 		switch {
 		case t.delivered:
 			outcome = telemetry.OutcomeDelivered
+		case expired:
+			outcome = telemetry.OutcomeDeadlineExpired
 		case spanAborted:
 			outcome = telemetry.OutcomeSpanAbort
 		}

@@ -18,6 +18,11 @@ import (
 // showThreshold adds the effective-elephant-threshold column and the
 // threshold-update footer — the adaptive-threshold view; off, the
 // output shape matches the historical fixed-threshold rendering.
+//
+// Latency columns (p50/p95/p99 completion latency per window) and the
+// deadline-expiry footer appear exactly when the run carried a latency
+// model (res.LatencyOn), so latency-free runs render byte-identically
+// to the pre-latency engine.
 func WriteDynamicResult(out io.Writer, scheme string, res DynamicResult, showThreshold bool) {
 	fmt.Fprintf(out, "== %s ==\n", scheme)
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
@@ -25,8 +30,17 @@ func WriteDynamicResult(out io.Writer, scheme string, res DynamicResult, showThr
 	if showThreshold {
 		cols += "\teff.thr"
 	}
+	if res.LatencyOn {
+		cols += "\tp50 lat\tp95 lat\tp99 lat"
+	}
 	fmt.Fprintln(w, cols)
-	for _, win := range res.Windows {
+	writeLat := func(l *LatencyStats) {
+		if res.LatencyOn {
+			fmt.Fprintf(w, "\t%.3fs\t%.3fs\t%.3fs", l.P50(), l.P95(), l.P99())
+		}
+	}
+	for i := range res.Windows {
+		win := &res.Windows[i]
 		fmt.Fprintf(w, "[%gs,%gs)\t%d\t%.1f%%\t%.4g\t%d\t%.3f%%",
 			win.Start, win.End, win.Metrics.Payments,
 			100*win.Metrics.SuccessRatio(), win.Metrics.SuccessVolume,
@@ -34,6 +48,7 @@ func WriteDynamicResult(out io.Writer, scheme string, res DynamicResult, showThr
 		if showThreshold {
 			fmt.Fprintf(w, "\t%.4g", win.Threshold)
 		}
+		writeLat(&win.Latency)
 		fmt.Fprintln(w)
 	}
 	agg := res.Aggregate
@@ -43,6 +58,7 @@ func WriteDynamicResult(out io.Writer, scheme string, res DynamicResult, showThr
 	if showThreshold {
 		fmt.Fprintf(w, "\t%.4g", res.FinalThreshold)
 	}
+	writeLat(&res.Latency)
 	fmt.Fprintln(w)
 	w.Flush()
 	c := res.EventCounts
@@ -51,6 +67,9 @@ func WriteDynamicResult(out io.Writer, scheme string, res DynamicResult, showThr
 		c[event.ChannelClose], c[event.Rebalance], c[event.DemandShift], c[event.FeeShift], res.SpanAborts)
 	if showThreshold {
 		fmt.Fprintf(out, "; threshold updates %d (final %.4g)", res.ThresholdUpdates, res.FinalThreshold)
+	}
+	if res.Deadline > 0 {
+		fmt.Fprintf(out, "; deadline expiries %d", res.DeadlineExpiries)
 	}
 	fmt.Fprintf(out, "; fingerprint %016x\n", res.Fingerprint)
 }

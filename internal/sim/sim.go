@@ -239,6 +239,12 @@ type routeOutcome struct {
 	paths      int
 	fees       float64
 	delivered  bool
+
+	// Virtual latency charged by the attempt, integer nanoseconds
+	// (zero unless the network carries per-channel RTTs): probe legs
+	// and commit-phase legs, separately, mirroring the message split.
+	probeLatNanos  int64
+	commitLatNanos int64
 }
 
 // add accumulates a later attempt into o (fees/delivered are taken
@@ -253,6 +259,8 @@ func (o *routeOutcome) add(a routeOutcome) {
 	o.paths = a.paths
 	o.fees += a.fees
 	o.delivered = o.delivered || a.delivered
+	o.probeLatNanos += a.probeLatNanos
+	o.commitLatNanos += a.commitLatNanos
 }
 
 // routeAttempt runs one routing attempt for p: a fresh session, one
@@ -294,12 +302,14 @@ func attemptPayment(net *pcn.Network, r route.Router, p trace.Payment, rngSeed i
 		rerr = fmt.Errorf("sim: router %s left session unfinished", r.Name())
 	}
 	out := routeOutcome{
-		elapsed:    elapsed,
-		probeMsgs:  int64(tx.ProbeMessages()),
-		commitMsgs: int64(tx.CommitMessages()),
-		probeOps:   tx.ProbeOps(),
-		paths:      tx.PathsUsed(),
-		delivered:  rerr == nil,
+		elapsed:        elapsed,
+		probeMsgs:      int64(tx.ProbeMessages()),
+		commitMsgs:     int64(tx.CommitMessages()),
+		probeOps:       tx.ProbeOps(),
+		paths:          tx.PathsUsed(),
+		delivered:      rerr == nil,
+		probeLatNanos:  tx.ProbeLatencyNanos(),
+		commitLatNanos: tx.CommitLatencyNanos(),
 	}
 	if tx.Suspended() {
 		// Delivery, CONFIRM/REVERSE messages and fees settle at Resume.

@@ -42,6 +42,10 @@ const (
 	// because churn closed a held channel mid-span — the HTLC-timeout
 	// analogue, and the dynamic engine's churn-invalidation cause.
 	OutcomeSpanAbort = "span-abort"
+	// OutcomeDeadlineExpired marks a payment whose hold span was torn
+	// down at its HTLC deadline before the commit could settle
+	// (DynamicOptions.Deadline).
+	OutcomeDeadlineExpired = "deadline-expired"
 )
 
 // FlowRecord is the flight-recorder entry for one completed payment:
@@ -81,10 +85,16 @@ type FlowRecord struct {
 	// timestamp into both; real-time harnesses (the TCP testbed) stamp
 	// seconds since workload start.
 	Arrival, Complete float64
+	// ProbeLatency and CommitLatency are the virtual latency the
+	// payment's protocol legs were charged, in seconds, split like the
+	// message counters: probe round trips vs COMMIT/CONFIRM/REVERSE
+	// legs. Zero unless the network carries per-channel RTTs.
+	ProbeLatency, CommitLatency float64
 	// WallNS is the wall-clock routing time in nanoseconds — observer
 	// information only, never part of any deterministic contract.
 	WallNS int64
-	// Outcome is OutcomeDelivered, OutcomeFailed or OutcomeSpanAbort.
+	// Outcome is OutcomeDelivered, OutcomeFailed, OutcomeSpanAbort or
+	// OutcomeDeadlineExpired.
 	Outcome string
 }
 
@@ -156,6 +166,10 @@ func (r *FlowRecord) AppendJSON(buf []byte) []byte {
 	buf = appendJSONFloat(buf, r.Arrival)
 	buf = append(buf, `,"complete":`...)
 	buf = appendJSONFloat(buf, r.Complete)
+	buf = append(buf, `,"probeLat":`...)
+	buf = appendJSONFloat(buf, r.ProbeLatency)
+	buf = append(buf, `,"commitLat":`...)
+	buf = appendJSONFloat(buf, r.CommitLatency)
 	buf = append(buf, `,"wallNs":`...)
 	buf = strconv.AppendInt(buf, r.WallNS, 10)
 	buf = append(buf, `,"outcome":`...)

@@ -30,6 +30,8 @@ func sampleRecord(id int64) *FlowRecord {
 		Fees:           0.125,
 		Arrival:        100.5,
 		Complete:       101.25,
+		ProbeLatency:   0.375,
+		CommitLatency:  0.0625,
 		WallNS:         42_000,
 		Outcome:        OutcomeDelivered,
 	}
@@ -47,6 +49,7 @@ func TestAppendJSONRoundTrip(t *testing.T) {
 		"amount": 12.5, "class": "elephant", "attempts": 2.0,
 		"probeRounds": 4.0, "probeMsgs": 18.0, "commitMsgs": 9.0,
 		"paths": 3.0, "fees": 0.125, "arrival": 100.5, "complete": 101.25,
+		"probeLat": 0.375, "commitLat": 0.0625,
 		"wallNs": 42000.0, "outcome": "delivered",
 	}
 	if len(got) != len(want) {

@@ -10,6 +10,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"unicode"
 )
 
 // Snapshot is an ingested real-world (or synthetic) channel graph: the
@@ -213,6 +214,11 @@ func WriteLNGraphJSON(w io.Writer, snap *Snapshot) error {
 // first-seen order, a round trip through this format preserves the
 // named topology and capacities but may renumber NodeIDs of nodes
 // whose first appearance moves; WriteLNGraphJSON is the exact format.
+// Node names the format cannot represent — empty, containing
+// whitespace, or starting with the comment character '#' (channel
+// normalisation can move a name to line-leading position, where the
+// reader would swallow it as a comment) — are rejected with an error
+// rather than written as a file that reads back differently.
 func WriteRippleEdgeList(w io.Writer, snap *Snapshot) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# flash-snapshot nodes=%d channels=%d\n",
@@ -220,6 +226,11 @@ func WriteRippleEdgeList(w io.Writer, snap *Snapshot) error {
 		return err
 	}
 	for i, e := range snap.Graph.Channels() {
+		for _, id := range [2]NodeID{e.A, e.B} {
+			if err := checkEdgeListName(snap.name(id)); err != nil {
+				return fmt.Errorf("topo: channel %d: %w", i, err)
+			}
+		}
 		if _, err := fmt.Fprintf(bw, "%s %s %s\n",
 			snap.name(e.A), snap.name(e.B),
 			strconv.FormatFloat(snap.Capacity[i], 'g', -1, 64)); err != nil {
@@ -227,6 +238,20 @@ func WriteRippleEdgeList(w io.Writer, snap *Snapshot) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// checkEdgeListName rejects node names the edge-list format cannot
+// round-trip.
+func checkEdgeListName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("empty node name")
+	case strings.HasPrefix(name, "#"):
+		return fmt.Errorf("node name %q starts with the comment character", name)
+	case strings.IndexFunc(name, unicode.IsSpace) >= 0:
+		return fmt.Errorf("node name %q contains whitespace", name)
+	}
+	return nil
 }
 
 // name returns the external key of id, falling back to the decimal ID

@@ -1,0 +1,16 @@
+package trace
+
+// HashUnit maps (seed, x) to a uniform value in [0, 1) by a
+// splitmix64-style finalisation — a pure hash, not an RNG, so marking
+// decisions keyed on an identity (e.g. the dynamic engine's griefer
+// set, or a sampled subset of payment IDs) are deterministic per
+// identity and consume no draws from any seeded stream.
+func HashUnit(seed, x int64) float64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(x)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
