@@ -476,6 +476,69 @@ func BenchmarkAdaptiveThreshold(b *testing.B) {
 	}
 }
 
+// BenchmarkControlPlane measures the adaptive control plane on the
+// 10k-payment dynamic demand-drift cell. control=off is the
+// feature-off guard: the plane resolves to nil and the arrival path
+// adds only a nil check, so it must show no measurable regression.
+// control=ewma runs the EWMA-smoothed global threshold alone — one
+// estimator update per arrival plus one confidence-gated observe pass
+// per window (the legacy-equivalent cost). control=full adds the
+// per-sender estimator shards and the probe-width policy: per arrival
+// the amount feeds both the global and the sender's estimator, and
+// each window's observe pass walks every tracked sender. The
+// events/sec deltas also fold in the *intended* routing-mix changes
+// (re-calibrated thresholds route the post-shift top decile through
+// the elephant algorithm), so cross-cell comparisons read policy cost
+// plus policy effect. Recorded by the CI bench step into
+// BENCH_control.json.
+func BenchmarkControlPlane(b *testing.B) {
+	const rate = 500 // arrivals per virtual second
+	cells := []struct {
+		name   string
+		policy string
+	}{
+		{"control=off", ""},
+		{"control=ewma", "ewma"},
+		{"control=full", "ewma,sender,width"},
+	}
+	for _, cell := range cells {
+		b.Run(cell.name, func(b *testing.B) {
+			sc := flash.DynamicScenario{
+				Name:              "bench",
+				Kind:              "ripple",
+				Nodes:             150,
+				ScaleFactor:       2,
+				Duration:          10000.0 / rate,
+				Rate:              rate,
+				DemandShiftFactor: 0.25,
+				DemandShiftFrac:   0.5,
+				Schemes:           []string{flash.SchemeFlash},
+				Seed:              1,
+			}
+			if cell.policy != "" {
+				policy, err := flash.ParseControlPolicy(cell.policy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc.Control = &policy
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			totalEvents := 0
+			for i := 0; i < b.N; i++ {
+				results, err := flash.RunDynamicScenario(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range results[0].Result.EventCounts {
+					totalEvents += c
+				}
+			}
+			b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
 // BenchmarkTelemetry measures the observability tax on the dynamic
 // engine's 10k-payment reference cell. sink=off is the bare engine
 // (telemetry compiled in but disabled — the nil-sink fast path);

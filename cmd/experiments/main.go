@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/control"
 	"repro/internal/exp"
 	"repro/internal/telemetry"
 )
@@ -31,6 +32,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "goroutines for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
 		probeW      = flag.Int("probeworkers", 1, "Flash per-session probe pool: probe N speculative elephant candidate paths concurrently (1 = sequential Algorithm 1)")
 		adaptiveThr = flag.Bool("adaptivethreshold", false, "re-calibrate Flash's elephant threshold on a rolling quantile in every dynamic-scenario cell")
+		ctrl        = flag.String("control", "", "adaptive control plane for every dynamic-scenario cell, comma-separated: raw|ewma (global threshold), sender (per-sender thresholds), width (probe width); off/empty = none")
 		topology    = flag.String("topology", "", "snapshot file (LN graph JSON or capacity edge list) replacing every figure's generated topology")
 		telAddr     = flag.String("telemetry", "", "serve runtime /metrics and pprof on this address while figures run")
 	)
@@ -49,6 +51,16 @@ func main() {
 	}
 
 	o := exp.Options{Full: *full, Seed: *seed, Out: os.Stdout, Workers: *workers, ProbeWorkers: *probeW, AdaptiveThreshold: *adaptiveThr, Topology: *topology}
+	if *ctrl != "" {
+		policy, err := control.ParsePolicy(*ctrl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		if policy.Enabled() {
+			o.Control = &policy
+		}
+	}
 	runners := map[string]func(exp.Options) error{
 		"3":         exp.Fig3,
 		"4":         exp.Fig4,

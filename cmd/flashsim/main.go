@@ -44,6 +44,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/control"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -82,6 +83,7 @@ func main() {
 		service   = flag.Float64("service", 0, "mean virtual service time per payment in seconds; > 0 enables hold spans (funds stay locked until the commit event)")
 		adaptive  = flag.Bool("adaptivethreshold", false, "re-calibrate Flash's elephant threshold on a rolling quantile of arrival amounts (dynamic mode)")
 		thrWindow = flag.Float64("thresholdwindow", 0, "adaptive-threshold re-calibration cadence in virtual seconds (0 = time-series window)")
+		ctrl      = flag.String("control", "", "adaptive control plane policies, comma-separated: raw|ewma (global threshold), sender (per-sender thresholds), width (probe width); off/empty = none (dynamic mode)")
 		latency   = flag.Float64("latency", 0, "median per-channel virtual RTT in seconds, log-normally distributed (0 = latency-free, byte-identical to the pre-latency engine)")
 		latSigma  = flag.Float64("latencysigma", 0, "log-normal shape of the per-channel RTT distribution (0 = default 0.6)")
 		deadline  = flag.Float64("deadline", 0, "HTLC-style hold-span expiry in virtual seconds: suspended payments whose commit cannot settle in time abort at the deadline (0 = no expiry)")
@@ -108,7 +110,7 @@ func main() {
 	if *dynamic || *scenario != "" {
 		runDynamic(*scenario, *kind, *nodes, *scale, *mice, splitList(*schemes), *seed, conc, *retries,
 			*arrival, *rate, *duration, *window, *churn, *rebalance, *latent, *peak, *service,
-			*flashK, *flashM, *probeW, *tableCap, *adaptive, *thrWindow,
+			*flashK, *flashM, *probeW, *tableCap, *adaptive, *thrWindow, *ctrl,
 			*latency, *latSigma, *deadline, *griefFrac, *griefHold, sink, *jsonMode)
 		return
 	}
@@ -209,7 +211,7 @@ func openFlowSink(path string) (telemetry.Sink, func()) {
 func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes []string,
 	seed int64, workers, retries int, arrival string, rate, duration, window,
 	churn, rebalance float64, latent int, peak, service float64, flashK, flashM, probeWorkers, tableCap int,
-	adaptive bool, thrWindow, latency, latSigma, deadline, griefFrac, griefHold float64,
+	adaptive bool, thrWindow float64, controlSpec string, latency, latSigma, deadline, griefFrac, griefHold float64,
 	sink telemetry.Sink, jsonMode bool) {
 
 	var (
@@ -268,6 +270,18 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 	if set["adaptivethreshold"] {
 		sc.AdaptiveThreshold = adaptive // a preset's adaptive default survives unless overridden
 	}
+	if set["control"] {
+		policy, perr := control.ParsePolicy(controlSpec)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "flashsim:", perr)
+			os.Exit(2)
+		}
+		if policy.Enabled() {
+			sc.Control = &policy
+		} else {
+			sc.Control = nil // -control off silences a preset's plane too
+		}
+	}
 	if set["thresholdwindow"] || sc.ThresholdWindow == 0 {
 		sc.ThresholdWindow = thrWindow // likewise for a preset's cadence
 	}
@@ -323,6 +337,11 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 		sc.Name, sc.Kind, sc.Nodes, sc.ScaleFactor, sc.Arrival, sc.Rate, sc.Duration, sc.Service,
 		sc.ChurnRate, sc.RebalanceRate, sc.LatentChannels, sc.Seed, sc.Workers, sc.Retries, sc.ProbeWorkers,
 		sc.AdaptiveThreshold)
+	// The control-plane header segment appears only when a policy is
+	// live, so control-free invocations print the historical bytes.
+	if sc.Control != nil && sc.Control.Enabled() {
+		fmt.Printf(" control=%s", sc.Control.Spec())
+	}
 	// The latency-model header segment appears only when the model is
 	// live, so latency-free invocations print the historical bytes.
 	if sc.LatencyMedian > 0 || sc.Deadline > 0 || sc.GriefFrac > 0 {
@@ -330,8 +349,9 @@ func runDynamic(scenario, kind string, nodes int, scale, mice float64, schemes [
 			sc.LatencyMedian, sc.LatencySigma, sc.Deadline, sc.GriefFrac, sc.GriefHold)
 	}
 	fmt.Println()
+	showThr := sc.AdaptiveThreshold || (sc.Control != nil && sc.Control.Enabled())
 	for _, r := range results {
-		sim.WriteDynamicResult(os.Stdout, r.Scheme, r.Result, sc.AdaptiveThreshold)
+		sim.WriteDynamicResult(os.Stdout, r.Scheme, r.Result, showThr)
 	}
 }
 

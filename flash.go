@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/gossip"
@@ -123,6 +124,42 @@ type (
 	DynamicSchemeResult = sim.DynamicSchemeResult
 )
 
+// Adaptive control plane: the deterministic feedback layer that owns
+// every runtime-tuned knob (global/per-sender elephant thresholds,
+// probe width). Controllers observe per-window metrics and emit
+// decisions; every applied decision is a fingerprinted ControlUpdate
+// event, so controlled runs replay bit-identically.
+type (
+	// ControlPolicy selects and parameterises the built-in controllers
+	// (DynamicScenario.Control / DynamicOptions.Control).
+	ControlPolicy = control.Policy
+	// Controller is the control-plane contract: observe one window,
+	// emit knob decisions.
+	Controller = control.Controller
+	// ControlMetrics is the per-window observation a Controller sees.
+	ControlMetrics = control.Metrics
+	// ControlDecision is one knob update emitted by a Controller.
+	ControlDecision = control.Decision
+	// ControlKnob enumerates the runtime-tuned knobs.
+	ControlKnob = control.Knob
+	// ControlKnobStatus is the per-knob decision rollup of a run.
+	ControlKnobStatus = sim.ControlKnobStatus
+)
+
+// Control-plane knob codes.
+const (
+	KnobThreshold       = control.KnobThreshold
+	KnobSenderThreshold = control.KnobSenderThreshold
+	KnobProbeWidth      = control.KnobProbeWidth
+	KnobRetryBackoff    = control.KnobRetryBackoff
+)
+
+// ParseControlPolicy parses a comma-separated policy spec — raw|ewma
+// (global threshold), sender (per-sender thresholds), width (probe
+// width); "off" or "" is the inert policy — the flashsim/experiments
+// -control syntax.
+func ParseControlPolicy(spec string) (ControlPolicy, error) { return control.ParsePolicy(spec) }
+
 // Dynamic event kinds.
 const (
 	EventPaymentArrival  = event.PaymentArrival
@@ -133,6 +170,7 @@ const (
 	EventDemandShift     = event.DemandShift
 	EventFeeShift        = event.FeeShift
 	EventThresholdUpdate = event.ThresholdUpdate
+	EventControlUpdate   = event.ControlUpdate
 )
 
 // DynamicScenarioNames lists the built-in dynamic scenario catalogue

@@ -1,0 +1,124 @@
+package control
+
+import (
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// PerSenderThresholdConfig parameterises NewPerSenderThreshold. The
+// zero value is normalised to the defaults noted per field.
+type PerSenderThresholdConfig struct {
+	// MiceFraction is the tracked quantile per sender (default 0.9).
+	MiceFraction float64
+	// Band is the relative dead-band (default 0.1): a sender's
+	// estimate must move more than Band·current before its override
+	// swaps. Wider than the global policy's band because per-sender
+	// streams are thinner and noisier.
+	Band float64
+	// MinSamples is the per-sender observation gate (default 20): a
+	// sender's override only moves on windows where that sender alone
+	// contributed at least this many arrivals.
+	MinSamples int
+	// MaxSenders bounds the tracked sender set (default 4096):
+	// estimators are O(1) each but a snapshot-scale run has millions
+	// of senders, so arrivals from senders beyond the cap fall through
+	// to the global threshold. First-come, first-tracked —
+	// deterministic, since arrivals are observed in event order.
+	MaxSenders int
+}
+
+func (c *PerSenderThresholdConfig) normalise() {
+	if c.MiceFraction == 0 {
+		c.MiceFraction = 0.9
+	}
+	if c.Band == 0 {
+		c.Band = 0.1
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 20
+	}
+	if c.MaxSenders == 0 {
+		c.MaxSenders = 4096
+	}
+}
+
+// senderState is one tracked sender's estimator and last-applied
+// override.
+type senderState struct {
+	est *stats.QuantileEstimator
+	cur float64 // last applied override value
+	has bool    // whether an override has been applied
+}
+
+// PerSenderThreshold shards the threshold estimator per sender,
+// mirroring how the router shards its mice routing tables: each
+// sender's payment sizes drift independently (one node streams large
+// transfers while another pays micro-fees), so classifying every
+// sender against the network-wide quantile misclassifies both tails.
+// Each tracked sender runs its own P² estimator over its own arrival
+// stream; when a window gives a sender enough samples and its estimate
+// has moved outside the dead-band, the controller emits a
+// KnobSenderThreshold decision for that sender.
+//
+// Decisions are emitted in first-seen sender order — a slice, not map
+// iteration — so the decision sequence is a pure function of the
+// arrival sequence.
+type PerSenderThreshold struct {
+	cfg     PerSenderThresholdConfig
+	senders map[topo.NodeID]*senderState
+	order   []topo.NodeID // first-seen order, for deterministic iteration
+}
+
+// NewPerSenderThreshold returns the sharded per-sender policy.
+func NewPerSenderThreshold(cfg PerSenderThresholdConfig) *PerSenderThreshold {
+	cfg.normalise()
+	return &PerSenderThreshold{
+		cfg:     cfg,
+		senders: make(map[topo.NodeID]*senderState),
+	}
+}
+
+// Name implements Controller.
+func (c *PerSenderThreshold) Name() string { return "per-sender-threshold" }
+
+// Tracked returns the number of senders currently tracked.
+func (c *PerSenderThreshold) Tracked() int { return len(c.order) }
+
+// ObserveArrival implements ArrivalObserver.
+func (c *PerSenderThreshold) ObserveArrival(sender topo.NodeID, amount float64) {
+	st := c.senders[sender]
+	if st == nil {
+		if len(c.order) >= c.cfg.MaxSenders {
+			return
+		}
+		st = &senderState{est: stats.NewQuantileEstimator(c.cfg.MiceFraction)}
+		c.senders[sender] = st
+		c.order = append(c.order, sender)
+	}
+	st.est.Add(amount)
+}
+
+// Observe implements Controller.
+func (c *PerSenderThreshold) Observe(w Metrics) []Decision {
+	var ds []Decision
+	for _, sender := range c.order {
+		st := c.senders[sender]
+		if st.est.Count() < c.cfg.MinSamples {
+			continue
+		}
+		q := st.est.Quantile()
+		st.est.Reset()
+		cur := w.Threshold
+		if st.has {
+			cur = st.cur
+		}
+		if math.Abs(q-cur) <= c.cfg.Band*math.Abs(cur) {
+			continue
+		}
+		st.cur, st.has = q, true
+		ds = append(ds, Decision{Knob: KnobSenderThreshold, Sender: sender, Value: q})
+	}
+	return ds
+}

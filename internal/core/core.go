@@ -143,20 +143,37 @@ type Flash struct {
 	// load rather than a field of cfg.
 	threshold atomic.Uint64
 
+	// probeWorkers is the live speculative probe-pool width:
+	// Config.ProbeWorkers seeds it, and SetProbeWorkers may re-tune it
+	// mid-run (the control plane's adaptive probe width), so the probe
+	// pipeline reads an atomic rather than a field of cfg.
+	probeWorkers atomic.Int32
+
+	// senderThr holds per-sender elephant-threshold overrides
+	// (SetSenderThreshold), consulted by the classification path before
+	// the global threshold. senderThrCount gates the lookup: with no
+	// overrides installed the classification path costs one extra
+	// atomic load and never touches the map.
+	senderMu       sync.RWMutex
+	senderThr      map[topo.NodeID]float64
+	senderThrCount atomic.Int32
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
 	tablesMu sync.RWMutex
 	tables   map[topo.NodeID]*routingTable
 
-	elephants          atomic.Int64
-	mice               atomic.Int64
-	tableHits          atomic.Int64
-	tableMisses        atomic.Int64
-	pathsReplaced      atomic.Int64
-	tableInvalidations atomic.Int64
-	tableEvictions     atomic.Int64
-	thresholdUpdates   atomic.Int64
+	elephants              atomic.Int64
+	mice                   atomic.Int64
+	tableHits              atomic.Int64
+	tableMisses            atomic.Int64
+	pathsReplaced          atomic.Int64
+	tableInvalidations     atomic.Int64
+	tableEvictions         atomic.Int64
+	thresholdUpdates       atomic.Int64
+	senderThresholdUpdates atomic.Int64
+	probeWidthUpdates      atomic.Int64
 }
 
 // New returns a Flash router with the given configuration. Invalid
@@ -173,23 +190,26 @@ func New(cfg Config) *Flash {
 		cfg.ProbeWorkers = 1
 	}
 	f := &Flash{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		tables: make(map[topo.NodeID]*routingTable),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		tables:    make(map[topo.NodeID]*routingTable),
+		senderThr: make(map[topo.NodeID]float64),
 	}
 	f.threshold.Store(math.Float64bits(cfg.Threshold))
+	f.probeWorkers.Store(int32(cfg.ProbeWorkers))
 	return f
 }
 
 // Name implements route.Router.
 func (f *Flash) Name() string { return "Flash" }
 
-// Config returns the router's configuration. Threshold reflects the
-// live classification boundary, which SetThreshold may have moved away
-// from the constructed value.
+// Config returns the router's configuration. Threshold and
+// ProbeWorkers reflect the live values, which SetThreshold and
+// SetProbeWorkers may have moved away from the constructed ones.
 func (f *Flash) Config() Config {
 	cfg := f.cfg
 	cfg.Threshold = f.Threshold()
+	cfg.ProbeWorkers = f.ProbeWorkers()
 	return cfg
 }
 
@@ -242,11 +262,119 @@ func (f *Flash) SetThreshold(t float64) int {
 	return dropped
 }
 
+// ThresholdFor returns the elephant classification threshold in effect
+// for payments from the given sender: the sender's override if
+// SetSenderThreshold installed one, the global threshold otherwise.
+func (f *Flash) ThresholdFor(sender topo.NodeID) float64 {
+	if f.senderThrCount.Load() > 0 {
+		f.senderMu.RLock()
+		t, ok := f.senderThr[sender]
+		f.senderMu.RUnlock()
+		if ok {
+			return t
+		}
+	}
+	return f.Threshold()
+}
+
+// SenderThreshold returns the sender's threshold override and whether
+// one is installed.
+func (f *Flash) SenderThreshold(sender topo.NodeID) (float64, bool) {
+	if f.senderThrCount.Load() == 0 {
+		return 0, false
+	}
+	f.senderMu.RLock()
+	t, ok := f.senderThr[sender]
+	f.senderMu.RUnlock()
+	return t, ok
+}
+
+// SetSenderThreshold installs (or moves) a per-sender elephant
+// threshold override — the sharded counterpart of SetThreshold for
+// workloads where each sender's demand drifts independently (a sender
+// streaming large transfers should classify against its own size
+// distribution, not the network-wide quantile). Safe concurrently with
+// routing: in-flight payments classify against whichever value they
+// loaded, like SetThreshold.
+//
+// Lowering the sender's effective threshold also invalidates that
+// sender's now-misclassified routing-table entries (same rule as
+// SetThreshold, narrowed to the one table); entries dropped count
+// towards Stats.TableInvalidations, the swap towards
+// Stats.SenderThresholdUpdates. Returns the number of entries dropped.
+func (f *Flash) SetSenderThreshold(sender topo.NodeID, t float64) int {
+	f.senderMu.Lock()
+	old, had := f.senderThr[sender]
+	if had && old == t {
+		f.senderMu.Unlock()
+		return 0
+	}
+	f.senderThr[sender] = t
+	if !had {
+		f.senderThrCount.Add(1)
+		old = f.Threshold()
+	}
+	f.senderMu.Unlock()
+	f.senderThresholdUpdates.Add(1)
+	if t >= old {
+		return 0
+	}
+	dropped := 0
+	f.tablesMu.RLock()
+	tbl := f.tables[sender]
+	f.tablesMu.RUnlock()
+	if tbl != nil {
+		tbl.mu.Lock()
+		for _, e := range tbl.entries {
+			if e.maxAmount > t {
+				tbl.removeLocked(e)
+				dropped++
+			}
+		}
+		tbl.mu.Unlock()
+	}
+	f.tableInvalidations.Add(int64(dropped))
+	return dropped
+}
+
+// ClearSenderThresholds removes every per-sender override, returning
+// classification to the global threshold alone.
+func (f *Flash) ClearSenderThresholds() {
+	f.senderMu.Lock()
+	f.senderThr = make(map[topo.NodeID]float64)
+	f.senderThrCount.Store(0)
+	f.senderMu.Unlock()
+}
+
+// ProbeWorkers returns the live speculative probe-pool width.
+func (f *Flash) ProbeWorkers() int { return int(f.probeWorkers.Load()) }
+
+// SetProbeWorkers re-tunes the live probe-pool width — the adaptive
+// probe-width hook: speculation trades messages and probe latency for
+// round-one fill, and a feedback loop observing window metrics can
+// widen or narrow it mid-run. The width is clamped to [1, Config.K]
+// (a pool wider than the candidate set is pure waste); the effective
+// value is returned. Sessions pick up the new width on their next
+// probing round; sessions without route.ParallelProber stay sequential
+// regardless, exactly as with the static configuration.
+func (f *Flash) SetProbeWorkers(w int) int {
+	if w < 1 {
+		w = 1
+	}
+	if w > f.cfg.K {
+		w = f.cfg.K
+	}
+	if int(f.probeWorkers.Swap(int32(w))) != w {
+		f.probeWidthUpdates.Add(1)
+	}
+	return w
+}
+
 // Route implements route.Router: it classifies the payment and
 // dispatches to the elephant or mice algorithm, always finishing the
 // session.
 func (f *Flash) Route(s route.Session) error {
-	if f.isElephant(s.Demand()) || f.cfg.M == 0 {
+	if f.isElephantFor(s.Sender(), s.Demand()) || f.cfg.M == 0 {
 		f.elephants.Add(1)
 		return f.routeElephant(s)
 	}
@@ -254,7 +382,14 @@ func (f *Flash) Route(s route.Session) error {
 	return f.routeMice(s)
 }
 
-// isElephant classifies a payment amount against the live threshold.
+// isElephantFor classifies a payment amount against the sender's live
+// effective threshold.
+func (f *Flash) isElephantFor(sender topo.NodeID, amount float64) bool {
+	return amount > f.ThresholdFor(sender)
+}
+
+// isElephant classifies a payment amount against the live global
+// threshold (per-sender overrides notwithstanding).
 func (f *Flash) isElephant(amount float64) bool {
 	return amount > f.Threshold()
 }
@@ -367,15 +502,18 @@ func (f *Flash) Prewarm(g *topo.Graph, pairs []Pair, workers int) int {
 
 // Stats is a snapshot of the router's internal counters.
 type Stats struct {
-	Elephants          int64 // payments routed by the elephant algorithm
-	Mice               int64 // payments routed by the mice algorithm
-	TableHits          int64 // mice payments whose receiver was cached
-	TableMisses        int64 // mice payments requiring a Yen computation
-	PathsReplaced      int64 // dead table paths replaced by the next Yen path
-	TableInvalidations int64 // entries dropped by InvalidateChannel (churn) or SetThreshold
-	TableEvictions     int64 // LRU entries evicted by the Config.TableCap bound
-	ThresholdUpdates   int64 // SetThreshold calls that changed the threshold
-	TableEntries       int   // receivers currently cached across all senders
+	Elephants              int64 // payments routed by the elephant algorithm
+	Mice                   int64 // payments routed by the mice algorithm
+	TableHits              int64 // mice payments whose receiver was cached
+	TableMisses            int64 // mice payments requiring a Yen computation
+	PathsReplaced          int64 // dead table paths replaced by the next Yen path
+	TableInvalidations     int64 // entries dropped by InvalidateChannel (churn) or threshold moves
+	TableEvictions         int64 // LRU entries evicted by the Config.TableCap bound
+	ThresholdUpdates       int64 // SetThreshold calls that changed the threshold
+	SenderThresholdUpdates int64 // SetSenderThreshold calls that moved an override
+	ProbeWidthUpdates      int64 // SetProbeWorkers calls that changed the width
+	SenderThresholds       int   // senders with a live threshold override
+	TableEntries           int   // receivers currently cached across all senders
 }
 
 // Stats returns a snapshot of the router's counters.
@@ -389,15 +527,18 @@ func (f *Flash) Stats() Stats {
 	}
 	f.tablesMu.RUnlock()
 	return Stats{
-		Elephants:          f.elephants.Load(),
-		Mice:               f.mice.Load(),
-		TableHits:          f.tableHits.Load(),
-		TableMisses:        f.tableMisses.Load(),
-		PathsReplaced:      f.pathsReplaced.Load(),
-		TableInvalidations: f.tableInvalidations.Load(),
-		TableEvictions:     f.tableEvictions.Load(),
-		ThresholdUpdates:   f.thresholdUpdates.Load(),
-		TableEntries:       entries,
+		Elephants:              f.elephants.Load(),
+		Mice:                   f.mice.Load(),
+		TableHits:              f.tableHits.Load(),
+		TableMisses:            f.tableMisses.Load(),
+		PathsReplaced:          f.pathsReplaced.Load(),
+		TableInvalidations:     f.tableInvalidations.Load(),
+		TableEvictions:         f.tableEvictions.Load(),
+		ThresholdUpdates:       f.thresholdUpdates.Load(),
+		SenderThresholdUpdates: f.senderThresholdUpdates.Load(),
+		ProbeWidthUpdates:      f.probeWidthUpdates.Load(),
+		SenderThresholds:       int(f.senderThrCount.Load()),
+		TableEntries:           entries,
 	}
 }
 

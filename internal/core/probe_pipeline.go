@@ -40,12 +40,12 @@ import (
 // Different ProbeWorkers values legitimately discover different (still
 // valid) plans, exactly as a different k would.
 
-// probePoolSize resolves the configured probe parallelism against the
-// session's capability: sessions that do not implement
-// route.ParallelProber (or answer false) are always probed
-// sequentially, whatever the config asks for.
+// probePoolSize resolves the live probe parallelism (SetProbeWorkers
+// may have re-tuned it mid-run) against the session's capability:
+// sessions that do not implement route.ParallelProber (or answer
+// false) are always probed sequentially, whatever the width asks for.
 func (f *Flash) probePoolSize(s route.Session) int {
-	w := f.cfg.ProbeWorkers
+	w := int(f.probeWorkers.Load())
 	if w <= 1 {
 		return 1
 	}

@@ -31,6 +31,7 @@ var auditedPackages = []string{
 	"../stats",
 	"../parallel",
 	"../telemetry",
+	"../control",
 }
 
 // TestExportedAPIDocumented parses every audited package (tests

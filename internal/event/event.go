@@ -64,9 +64,17 @@ const (
 	// funds are released, and the attempt counts as failed. Emitted by
 	// the engine itself, never by churn schedules.
 	DeadlineExpiry
+	// ControlUpdate records one applied control-plane decision (or the
+	// cadence tick that triggers the observe/decide pass): a runtime
+	// knob — threshold, per-sender threshold, probe width, retry
+	// backoff — moved to a new value. Like ThresholdUpdate, the applied
+	// decisions are stamped into the log before recording, so the
+	// fingerprint covers the whole adaptive trajectory. Emitted by the
+	// engine itself, never by churn schedules.
+	ControlUpdate
 
 	// NumKinds is the number of event kinds (for per-kind counters).
-	NumKinds = int(DeadlineExpiry) + 1
+	NumKinds = int(ControlUpdate) + 1
 )
 
 // String names the kind for logs and tables.
@@ -90,6 +98,8 @@ func (k Kind) String() string {
 		return "threshold-update"
 	case DeadlineExpiry:
 		return "deadline-expiry"
+	case ControlUpdate:
+		return "control-update"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -111,6 +121,10 @@ func (k Kind) String() string {
 //     the log fingerprint covers the adaptive trajectory).
 //   - DeadlineExpiry: ID is the payment ID and Attempt the retry
 //     attempt whose hold expired.
+//   - ControlUpdate: ID is the knob code of the applied decision
+//     (internal/control's Knob values; 0 marks a bare cadence tick), A
+//     the sender for per-sender knobs, and Amount the knob's new
+//     effective value.
 type Event struct {
 	Time float64 // virtual seconds
 	Seq  uint64  // stamped by Queue.Schedule; total-order tie-break
@@ -133,6 +147,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("t=%.6f %s factor=%g", e.Time, e.Kind, e.Amount)
 	case ThresholdUpdate:
 		return fmt.Sprintf("t=%.6f %s thr=%g", e.Time, e.Kind, e.Amount)
+	case ControlUpdate:
+		return fmt.Sprintf("t=%.6f %s knob=%d sender=%d value=%g", e.Time, e.Kind, e.ID, e.A, e.Amount)
 	default:
 		return fmt.Sprintf("t=%.6f %s", e.Time, e.Kind)
 	}

@@ -48,6 +48,9 @@ func Dynamic(o Options) error {
 		sc.Schemes = schemes
 		sc.ProbeWorkers = o.ProbeWorkers
 		sc.AdaptiveThreshold = sc.AdaptiveThreshold || o.AdaptiveThreshold
+		if o.Control != nil {
+			sc.Control = o.Control
+		}
 		sc.Seed = o.seed()
 		results, err := sim.RunDynamicScenario(sc)
 		if err != nil {
@@ -59,7 +62,9 @@ func Dynamic(o Options) error {
 			lo, hi := windowRange(r.Result)
 			c := r.Result.EventCounts
 			thr := "-"
-			if sc.AdaptiveThreshold && r.Scheme == sim.SchemeFlash {
+			if r.Result.ControlOn && r.Scheme == sim.SchemeFlash {
+				thr = fmt.Sprintf("%d dec, final %.4g", r.Result.ControlDecisions, r.Result.FinalThreshold)
+			} else if sc.AdaptiveThreshold && r.Scheme == sim.SchemeFlash {
 				thr = fmt.Sprintf("%d upd, final %.4g", r.Result.ThresholdUpdates, r.Result.FinalThreshold)
 			}
 			lat := "-"

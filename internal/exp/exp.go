@@ -16,6 +16,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/control"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -50,6 +51,13 @@ type Options struct {
 	// whose catalogue preset enables it (demand-drift) adapt. Tables
 	// stay deterministic either way.
 	AdaptiveThreshold bool
+
+	// Control, when non-nil, installs this adaptive control-plane
+	// policy in every dynamic-scenario cell (sim.DynamicScenario.Control)
+	// — the generalisation of AdaptiveThreshold to the full knob set
+	// (EWMA-smoothed or raw global threshold, per-sender thresholds,
+	// probe width). Tables stay deterministic for a fixed policy.
+	Control *control.Policy
 
 	// Topology, when non-empty, replaces every figure's generated
 	// topology with the snapshot file at this path (LN channel-graph

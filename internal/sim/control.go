@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/topo"
+)
+
+// This file is the dynamic engine's side of the control plane: the
+// per-window accumulator that feeds control.Metrics to the
+// controllers, the decision application switch, and the result-facing
+// per-knob status. The contract with internal/control is strict — the
+// engine observes, controllers decide, the engine applies and logs —
+// so everything stateful about *applying* decisions lives here, and
+// everything stateful about *making* them lives in the controllers.
+
+// ControlKnobStatus is one knob's decision rollup in a DynamicResult:
+// how many control decisions moved it and the last effective value
+// applied. Rendered in the run footer and the JSON report so telemetry
+// consumers can correlate decisions with window metrics.
+type ControlKnobStatus struct {
+	Knob      string  `json:"knob"`
+	Decisions int     `json:"decisions"`
+	Last      float64 `json:"last"`
+}
+
+// controlState carries the engine's control-plane runtime: the plane,
+// the current observation window's accumulator, and the per-knob
+// decision rollups. nil when no controller is engaged.
+type controlState struct {
+	plane *control.Plane
+	// legacy replays the pre-control-plane event stream: the plane is
+	// exactly the raw-threshold policy (what AdaptiveThreshold maps
+	// to), ticks stay event.ThresholdUpdate, and only the tick — never
+	// per-decision events — is logged, byte-identical to the engine
+	// before internal/control existed.
+	legacy bool
+
+	index int     // completed observe passes
+	start float64 // current observation window's start
+
+	// Accumulators over the current observation window.
+	arrivals          int
+	payments          int
+	successes         int
+	elephants         int
+	elephantSucc      int
+	mice              int
+	miceSucc          int
+	elephantProbeOps  int
+	elephantPathsUsed int
+	probeMsgs         int64
+
+	decisions int // applied decisions, all knobs
+	status    [control.NumKnobs]ControlKnobStatus
+}
+
+// newControlState builds the engine's control runtime for a resolved
+// policy plus any test-hook controllers. Returns nil when nothing is
+// engaged (no controllers, or a router without tunable knobs).
+func newControlState(policy control.Policy, hook []control.Controller, fl *core.Flash) (*controlState, error) {
+	if fl == nil || (!policy.Enabled() && len(hook) == 0) {
+		return nil, nil
+	}
+	cs, err := policy.Controllers()
+	if err != nil {
+		return nil, err
+	}
+	cs = append(cs, hook...)
+	if len(cs) == 0 {
+		return nil, nil
+	}
+	return &controlState{
+		plane:  control.NewPlane(cs...),
+		legacy: policy.Threshold == "raw" && !policy.PerSender && !policy.ProbeWidth && len(hook) == 0,
+	}, nil
+}
+
+// tickKind is the cadence event kind: the legacy shim keeps the
+// historical ThresholdUpdate events, the general plane drives
+// ControlUpdate ticks.
+func (c *controlState) tickKind() event.Kind {
+	if c.legacy {
+		return event.ThresholdUpdate
+	}
+	return event.ControlUpdate
+}
+
+// arrival feeds one first-attempt arrival to the plane's estimators.
+func (c *controlState) arrival(sender topo.NodeID, amount float64) {
+	c.arrivals++
+	c.plane.ObserveArrival(sender, amount)
+}
+
+// completedPayment accumulates one settled payment into the current
+// observation window, classified against the threshold in effect for
+// its sender at completion.
+func (c *controlState) completedPayment(amount, effThreshold float64, t routeOutcome) {
+	c.payments++
+	if t.delivered {
+		c.successes++
+	}
+	c.probeMsgs += t.probeMsgs
+	if amount > effThreshold {
+		c.elephants++
+		c.elephantProbeOps += t.probeOps
+		if t.delivered {
+			c.elephantSucc++
+			c.elephantPathsUsed += t.paths
+		}
+	} else {
+		c.mice++
+		if t.delivered {
+			c.miceSucc++
+		}
+	}
+}
+
+// snapshot assembles the control.Metrics for an observe pass ending at
+// t, then resets the accumulator for the next window.
+func (c *controlState) snapshot(t, threshold float64, probeWidth int) control.Metrics {
+	m := control.Metrics{
+		Index:             c.index,
+		Start:             c.start,
+		End:               t,
+		Arrivals:          c.arrivals,
+		Payments:          c.payments,
+		Successes:         c.successes,
+		Elephants:         c.elephants,
+		ElephantSuccesses: c.elephantSucc,
+		Mice:              c.mice,
+		MiceSuccesses:     c.miceSucc,
+		ElephantProbeOps:  c.elephantProbeOps,
+		ElephantPathsUsed: c.elephantPathsUsed,
+		ProbeMessages:     int(c.probeMsgs),
+		Threshold:         threshold,
+		ProbeWidth:        probeWidth,
+	}
+	c.index++
+	c.start = t
+	c.arrivals, c.payments, c.successes = 0, 0, 0
+	c.elephants, c.elephantSucc, c.mice, c.miceSucc = 0, 0, 0, 0
+	c.elephantProbeOps, c.elephantPathsUsed, c.probeMsgs = 0, 0, 0
+	return m
+}
+
+// applied records one applied decision's effective value in the
+// per-knob rollup.
+func (c *controlState) applied(k control.Knob, eff float64) {
+	c.decisions++
+	if int(k) < len(c.status) {
+		st := &c.status[k]
+		st.Knob = k.String()
+		st.Decisions++
+		st.Last = eff
+	}
+}
+
+// knobStatus returns the per-knob rollups for knobs that decided at
+// least once, in knob-code order.
+func (c *controlState) knobStatus() []ControlKnobStatus {
+	var out []ControlKnobStatus
+	for _, st := range c.status {
+		if st.Decisions > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/pcn"
@@ -93,6 +94,28 @@ type DynamicOptions struct {
 	// paper's 90%-mice calibration. Only consulted when
 	// AdaptiveThreshold is on.
 	MiceFraction float64
+
+	// Control selects the adaptive control plane (internal/control): a
+	// declarative policy whose controllers observe per-window metrics
+	// on the control cadence (Policy.Window, else ThresholdWindow, else
+	// Window) and re-tune the router's runtime knobs — global and
+	// per-sender elephant thresholds, speculative probe width, retry
+	// backoff. nil (or the zero policy) runs no controllers.
+	// AdaptiveThreshold is the compat shim over this: it maps to the
+	// "raw" threshold policy, and that policy alone replays the
+	// pre-control-plane event stream byte for byte. Only Flash routers
+	// have knobs; for every other scheme the plane is inert. Every
+	// applied decision is recorded as a fingerprinted
+	// event.ControlUpdate, so controllers-on runs replay identically at
+	// Workers ≤ 1.
+	Control *control.Policy
+
+	// controlHook appends scripted controllers to the resolved plane —
+	// the test seam for exercising decision application (knob coverage,
+	// per-sender swaps, backoff scaling) without a full policy. Always
+	// takes the general control path, never the legacy shim. nil in
+	// production.
+	controlHook []control.Controller
 
 	// RecordLog retains the full applied-event log in the result (the
 	// fingerprint and per-kind counts are always available).
@@ -189,6 +212,17 @@ type Window struct {
 
 	Metrics Metrics
 
+	// Adaptive re-classifies the window's completions against the
+	// threshold in effect for each payment when it completed (the
+	// sender's live effective threshold, per-sender overrides
+	// included), where Metrics always classifies against the run's
+	// fixed metrics threshold. The two diverge exactly where the
+	// control plane moved a threshold mid-run; comparing them shows
+	// what the adaptation re-labelled. Populated only when a control
+	// plane (or the AdaptiveThreshold shim) ran
+	// (DynamicResult.AdaptiveView).
+	Adaptive Metrics
+
 	// Latency summarises the completion latency (virtual completion −
 	// first arrival) of payments delivered in this window. Populated
 	// only when the run reports latency (DynamicResult.LatencyOn).
@@ -217,6 +251,23 @@ type DynamicResult struct {
 	// threshold when the adaptive mode is off or never re-calibrated).
 	ThresholdUpdates int
 	FinalThreshold   float64
+
+	// ControlOn reports whether the general control plane drove the run
+	// (false for runs without controllers and for the legacy
+	// AdaptiveThreshold shim, which replays the pre-control-plane event
+	// stream). ControlDecisions counts applied decisions across all
+	// knobs, and Controllers is the per-knob rollup (decision count and
+	// last effective value) for knobs that decided at least once.
+	ControlOn        bool
+	ControlDecisions int
+	Controllers      []ControlKnobStatus
+
+	// AdaptiveView reports whether the per-window re-classification
+	// view is populated (any control plane ran, the legacy shim
+	// included): Adaptive here and on every Window then classify
+	// completions against the threshold in effect when each completed.
+	AdaptiveView bool
+	Adaptive     Metrics
 
 	// LatencyOn reports whether the run carried a virtual latency model
 	// (per-channel RTTs on the network, or a hold-span deadline): when
@@ -387,25 +438,41 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 		curThreshold = fl.Threshold()
 	}
 
-	// Adaptive elephant threshold (see DynamicOptions.AdaptiveThreshold):
-	// the estimator sees every first-attempt arrival amount; the
-	// ThresholdUpdate chain below re-calibrates on a cadence. Engaged
-	// only for Flash — no other scheme owns a threshold.
-	adaptive := opts.AdaptiveThreshold && fl != nil
-	var est *stats.QuantileEstimator
-	thrWindow := opts.ThresholdWindow
+	// Control plane (see DynamicOptions.Control): the resolved policy's
+	// controllers observe per-window metrics on the cadence below and
+	// re-tune the router's knobs; the legacy AdaptiveThreshold option
+	// resolves to the raw-threshold policy, whose shim path replays the
+	// pre-control-plane event stream byte for byte. Engaged only for
+	// Flash — no other scheme owns runtime knobs.
+	policy := control.Policy{}
+	if opts.Control != nil {
+		policy = *opts.Control
+	}
+	if opts.AdaptiveThreshold && policy.Threshold == "" {
+		policy.Threshold = "raw"
+	}
+	if policy.MiceFraction == 0 {
+		if frac := opts.MiceFraction; frac > 0 && frac < 1 {
+			policy.MiceFraction = frac
+		}
+	}
+	ctl, err := newControlState(policy, opts.controlHook, fl)
+	if err != nil {
+		return res, fmt.Errorf("sim: %w", err)
+	}
+	thrWindow := policy.Window
+	if thrWindow <= 0 {
+		thrWindow = opts.ThresholdWindow
+	}
 	if thrWindow <= 0 {
 		thrWindow = window
 	}
-	if adaptive {
-		frac := opts.MiceFraction
-		if frac <= 0 || frac >= 1 {
-			frac = 0.9
-		}
-		est = stats.NewQuantileEstimator(frac)
-		if thrWindow < horizon {
-			queue.Schedule(event.Event{Time: thrWindow, Kind: event.ThresholdUpdate})
-		}
+	// backoffScale multiplies the engine's retry backoff; exactly 1.0
+	// unless a KnobRetryBackoff decision moves it, so control-off runs
+	// compute bit-identical backoffs.
+	backoffScale := 1.0
+	if ctl != nil && thrWindow < horizon {
+		queue.Schedule(event.Event{Time: thrWindow, Kind: ctl.tickKind()})
 	}
 
 	// pullArrival schedules the source's next arrival, if it falls
@@ -558,40 +625,83 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 		return &res.Windows[idx]
 	}
 
-	// applyThresholdUpdate is the adaptive re-calibration: when the
-	// estimator has seen enough of the current regime, swap the
-	// router's threshold to its quantile and reset it (the rolling
-	// behaviour); otherwise keep accumulating. Returns the effective
-	// threshold, which the caller stamps into the logged event so the
-	// fingerprint covers the adaptive trajectory.
-	applyThresholdUpdate := func(t float64) float64 {
-		// Materialise the bucket (and any earlier ones) before the swap,
+	// applyControlTick is the control plane's observe/decide/apply pass,
+	// run once per cadence tick on the event loop: assemble the window's
+	// metrics, let every controller decide, apply the decisions to the
+	// router, and record the adaptive trajectory into the fingerprinted
+	// log. The legacy shim (raw-threshold policy alone) keeps the
+	// historical stream — one stamped ThresholdUpdate per tick, nothing
+	// else — byte-identical to the engine before internal/control.
+	applyControlTick := func(e event.Event) {
+		// Materialise the bucket (and any earlier ones) before any swap,
 		// so windows that closed under the old threshold report it.
-		w := windowFor(t)
-		if est.Count() >= adaptiveMinSamples {
-			if thr := est.Quantile(); thr != curThreshold {
-				fl.SetThreshold(thr)
-				curThreshold = thr
-				res.ThresholdUpdates++
+		w := windowFor(e.Time)
+		m := ctl.snapshot(e.Time, curThreshold, fl.ProbeWorkers())
+		decisions := ctl.plane.Observe(m)
+		if ctl.legacy {
+			for _, d := range decisions {
+				if d.Knob == control.KnobThreshold && d.Value != curThreshold {
+					fl.SetThreshold(d.Value)
+					curThreshold = d.Value
+					res.ThresholdUpdates++
+				}
 			}
-			est.Reset()
+			w.Threshold = curThreshold
+			if next := e.Time + thrWindow; next < horizon {
+				queue.Schedule(event.Event{Time: next, Kind: event.ThresholdUpdate})
+			}
+			// Stamped before recording so the log entry (and the
+			// fingerprint) carries the effective threshold.
+			e.Amount = curThreshold
+			log.Record(e)
+			return
+		}
+		// General plane: the bare cadence tick is logged first (knob
+		// code 0), then one ControlUpdate per applied decision, each
+		// stamped with the effective value the router reports back — the
+		// whole adaptive trajectory folds into the fingerprint.
+		log.Record(e)
+		for _, d := range decisions {
+			eff := d.Value
+			switch d.Knob {
+			case control.KnobThreshold:
+				if d.Value == curThreshold {
+					continue
+				}
+				fl.SetThreshold(d.Value)
+				curThreshold = d.Value
+				res.ThresholdUpdates++
+			case control.KnobSenderThreshold:
+				fl.SetSenderThreshold(d.Sender, d.Value)
+			case control.KnobProbeWidth:
+				eff = float64(fl.SetProbeWorkers(int(d.Value)))
+			case control.KnobRetryBackoff:
+				if !(d.Value > 0) {
+					continue
+				}
+				backoffScale = d.Value
+			default:
+				continue
+			}
+			ctl.applied(d.Knob, eff)
+			if obs != nil {
+				obs.decided(d.Knob, eff)
+			}
+			log.Record(event.Event{Time: e.Time, Seq: e.Seq, Kind: event.ControlUpdate,
+				ID: int64(d.Knob), A: d.Sender, Amount: eff})
 		}
 		w.Threshold = curThreshold
-		if next := t + thrWindow; next < horizon {
-			queue.Schedule(event.Event{Time: next, Kind: event.ThresholdUpdate})
+		if next := e.Time + thrWindow; next < horizon {
+			queue.Schedule(event.Event{Time: next, Kind: event.ControlUpdate})
 		}
-		return curThreshold
 	}
 
 	pullArrival()
 	for queue.Len() > 0 {
 		e, _ := queue.Pop()
 		clock.AdvanceTo(e.Time)
-		if e.Kind == event.ThresholdUpdate {
-			// Applied before recording so the log entry (and the
-			// fingerprint) carries the effective threshold.
-			e.Amount = applyThresholdUpdate(e.Time)
-			log.Record(e)
+		if e.Kind == event.ThresholdUpdate || e.Kind == event.ControlUpdate {
+			applyControlTick(e)
 			continue
 		}
 		log.Record(e)
@@ -601,8 +711,8 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 			dp := pending[e.ID]
 			if e.Attempt == 0 {
 				pullArrival()
-				if est != nil {
-					est.Add(dp.p.Amount)
+				if ctl != nil {
+					ctl.arrival(dp.p.Sender, dp.p.Amount)
 				}
 			}
 			dp.attempt = e.Attempt
@@ -718,6 +828,17 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 				res.Aggregate.Record(dp.p.Amount, miceThreshold, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
 				w := windowFor(e.Time)
 				w.Metrics.Record(dp.p.Amount, miceThreshold, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
+				if ctl != nil {
+					// The re-classification view and the controllers' window
+					// metrics classify against the threshold in effect for
+					// this sender right now — per-sender overrides included —
+					// where the fixed-threshold Metrics above keep runs
+					// comparable across policies.
+					effThr := fl.ThresholdFor(dp.p.Sender)
+					ctl.completedPayment(dp.p.Amount, effThr, t)
+					res.Adaptive.Record(dp.p.Amount, effThr, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
+					w.Adaptive.Record(dp.p.Amount, effThr, t.elapsed, t.probeMsgs, t.commitMsgs, t.fees, t.delivered)
+				}
 				if latencyReport && t.delivered {
 					res.Latency.Observe(e.Time - dp.arrival)
 					w.Latency.Observe(e.Time - dp.arrival)
@@ -729,7 +850,7 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 				// Retry after a jittered virtual backoff: 50ms · 2^attempt,
 				// scaled by [0.5, 1.5) — long enough for the racing holds of
 				// the same instant to have settled.
-				backoff := 0.05 * float64(uint(1)<<uint(dp.attempt)) * (0.5 + schedRNG.Float64())
+				backoff := 0.05 * backoffScale * float64(uint(1)<<uint(dp.attempt)) * (0.5 + schedRNG.Float64())
 				queue.Schedule(event.Event{
 					Time: e.Time + backoff, Kind: event.PaymentArrival,
 					ID: e.ID, Attempt: dp.attempt + 1,
@@ -794,6 +915,12 @@ func RunDynamic(net *pcn.Network, r route.Router, src trace.PaymentSource, horiz
 		}
 	}
 	res.FinalThreshold = curThreshold
+	if ctl != nil {
+		res.ControlOn = !ctl.legacy
+		res.AdaptiveView = true
+		res.ControlDecisions = ctl.decisions
+		res.Controllers = ctl.knobStatus()
+	}
 	res.finishLog(&log)
 	return res, nil
 }
@@ -884,6 +1011,12 @@ type DynamicScenario struct {
 	// to the time-series window.
 	AdaptiveThreshold bool
 	ThresholdWindow   float64
+
+	// Control runs the adaptive control plane on Flash
+	// (DynamicOptions.Control): the policy's controllers observe window
+	// metrics on the ThresholdWindow cadence and re-tune the runtime
+	// knobs. nil runs whatever AdaptiveThreshold alone selects.
+	Control *control.Policy
 
 	// FlashK/FlashM override Flash's path counts when > 0 (FlashMSet
 	// forces FlashM through even at zero), mirroring Scenario.
@@ -1194,6 +1327,7 @@ func RunDynamicScenario(sc DynamicScenario) ([]DynamicSchemeResult, error) {
 			AdaptiveThreshold: sc.AdaptiveThreshold,
 			ThresholdWindow:   sc.ThresholdWindow,
 			MiceFraction:      sc.MiceFraction,
+			Control:           sc.Control,
 			Deadline:          sc.Deadline,
 			GriefFrac:         sc.GriefFrac,
 			GriefHold:         sc.GriefHold,

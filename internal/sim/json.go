@@ -54,16 +54,43 @@ func latencyJSON(l *LatencyStats) *jsonLatency {
 	return &jsonLatency{Count: l.Count, Mean: l.Mean(), Max: l.Max, P50: l.P50(), P95: l.P95(), P99: l.P99()}
 }
 
+// jsonAdaptive is the re-classification view of one window (or the
+// aggregate): mice/elephant outcomes classified against the threshold
+// in effect for each payment when it completed, where the plain
+// metrics classify against the run's fixed metrics threshold. Present
+// exactly when a control plane ran (DynamicResult.AdaptiveView).
+type jsonAdaptive struct {
+	MicePayments         int     `json:"micePayments"`
+	MiceSuccesses        int     `json:"miceSuccesses"`
+	MiceSuccessRatio     float64 `json:"miceSuccessRatio"`
+	ElephantPayments     int     `json:"elephantPayments"`
+	ElephantSuccesses    int     `json:"elephantSuccesses"`
+	ElephantSuccessRatio float64 `json:"elephantSuccessRatio"`
+}
+
+func adaptiveJSON(m Metrics) *jsonAdaptive {
+	return &jsonAdaptive{
+		MicePayments:         m.MicePayments,
+		MiceSuccesses:        m.MiceSuccesses,
+		MiceSuccessRatio:     m.MiceSuccessRatio(),
+		ElephantPayments:     m.ElephantPayments,
+		ElephantSuccesses:    m.ElephantSuccesses,
+		ElephantSuccessRatio: m.ElephantSuccessRatio(),
+	}
+}
+
 // jsonWindow is one time-series bucket with its effective threshold —
 // the threshold trajectory, window by window. Latency is present
 // exactly when the run carried a latency model (DynamicResult.LatencyOn),
-// so latency-free documents are byte-identical to the pre-latency shape.
+// so latency-free documents are byte-identical to the pre-latency shape;
+// Adaptive likewise appears only on control-plane runs.
 type jsonWindow struct {
-	Start     float64      `json:"start"`
-	End       float64      `json:"end"`
-	Threshold float64      `json:"threshold"`
-	Metrics   jsonMetrics  `json:"metrics"`
-	Latency   *jsonLatency `json:"latency,omitempty"`
+	Start     float64       `json:"start"`
+	End       float64       `json:"end"`
+	Threshold float64       `json:"threshold"`
+	Metrics   jsonMetrics   `json:"metrics"`
+	Adaptive  *jsonAdaptive `json:"adaptive,omitempty"`
+	Latency   *jsonLatency  `json:"latency,omitempty"`
 }
 
 // jsonDynamicResult is the flashsim -json document for one scheme.
@@ -77,6 +104,13 @@ type jsonDynamicResult struct {
 	SpanAborts       int            `json:"spanAborts"`
 	ThresholdUpdates int            `json:"thresholdUpdates"`
 	FinalThreshold   float64        `json:"finalThreshold"`
+
+	// Control-plane extension, omitted entirely when no controller ran
+	// so control-free documents keep their historical shape: the
+	// re-classification aggregate and the per-knob decision rollup.
+	Adaptive         *jsonAdaptive       `json:"adaptive,omitempty"`
+	ControlDecisions int                 `json:"controlDecisions,omitempty"`
+	Controllers      []ControlKnobStatus `json:"controllers,omitempty"`
 
 	// Latency-model extension, omitted entirely on latency-free runs so
 	// their documents stay byte-identical to the pre-latency shape.
@@ -105,6 +139,13 @@ func WriteDynamicJSON(out io.Writer, scheme string, res DynamicResult) error {
 		ThresholdUpdates: res.ThresholdUpdates,
 		FinalThreshold:   res.FinalThreshold,
 	}
+	if res.AdaptiveView {
+		doc.Adaptive = adaptiveJSON(res.Adaptive)
+	}
+	if res.ControlOn {
+		doc.ControlDecisions = res.ControlDecisions
+		doc.Controllers = res.Controllers
+	}
 	if res.LatencyOn {
 		doc.Deadline = res.Deadline
 		doc.DeadlineExpiries = res.DeadlineExpiries
@@ -113,6 +154,9 @@ func WriteDynamicJSON(out io.Writer, scheme string, res DynamicResult) error {
 	for i := range res.Windows {
 		w := &res.Windows[i]
 		doc.Windows[i] = jsonWindow{Start: w.Start, End: w.End, Threshold: w.Threshold, Metrics: metricsJSON(w.Metrics)}
+		if res.AdaptiveView {
+			doc.Windows[i].Adaptive = adaptiveJSON(w.Adaptive)
+		}
 		if res.LatencyOn {
 			doc.Windows[i].Latency = latencyJSON(&w.Latency)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/pcn"
 	"repro/internal/route"
@@ -46,6 +47,7 @@ func emitFlow(sink telemetry.Sink, scheme string, p trace.Payment, miceThreshold
 type dynObserver struct {
 	sink   telemetry.Sink
 	scheme string
+	reg    *telemetry.Registry
 
 	payments, successes, failures, spanAborts *telemetry.Counter
 	expiries                                  *telemetry.Counter
@@ -53,6 +55,12 @@ type dynObserver struct {
 	probeMsgs, commitMsgs                     *telemetry.Counter
 	amounts, latency                          *telemetry.Histogram
 	clock, threshold                          *telemetry.Gauge
+
+	// Per-knob control-plane instruments, registered lazily on the
+	// first decision touching each knob (a run without a control plane
+	// exports no control series at all).
+	ctlDecisions [control.NumKnobs]*telemetry.Counter
+	ctlLast      [control.NumKnobs]*telemetry.Gauge
 }
 
 // newDynObserver builds the tap, registering the scheme-labelled
@@ -62,7 +70,7 @@ func newDynObserver(scheme string, sink telemetry.Sink, reg *telemetry.Registry)
 	if sink == nil && reg == nil {
 		return nil
 	}
-	o := &dynObserver{sink: sink, scheme: scheme}
+	o := &dynObserver{sink: sink, scheme: scheme, reg: reg}
 	if reg != nil {
 		lbl := `{scheme="` + scheme + `"}`
 		o.payments = reg.Counter("sim_payments_total"+lbl, "Payments completed, all outcomes.")
@@ -120,6 +128,23 @@ func (o *dynObserver) completed(p trace.Payment, miceThreshold float64, t routeO
 	}
 }
 
+// decided records one applied control-plane decision: a per-knob
+// decision counter and a per-knob last-value gauge, so telemetry
+// consumers can correlate knob moves with the window metrics around
+// them. Instruments register lazily per knob.
+func (o *dynObserver) decided(k control.Knob, eff float64) {
+	if o.reg == nil || int(k) >= control.NumKnobs {
+		return
+	}
+	if o.ctlDecisions[k] == nil {
+		lbl := `{knob="` + k.String() + `",scheme="` + o.scheme + `"}`
+		o.ctlDecisions[k] = o.reg.Counter("sim_control_decisions_total"+lbl, "Applied control-plane decisions for this knob.")
+		o.ctlLast[k] = o.reg.Gauge("sim_control_last_value"+lbl, "Last effective value a control decision set this knob to.")
+	}
+	o.ctlDecisions[k].Inc()
+	o.ctlLast[k].Set(eff)
+}
+
 // RegisterRouterMetrics exposes a router's internal statistics as
 // scheme-labelled gauges on reg, read live at every scrape. Only
 // routers with statistics (core.Flash) register anything; every other
@@ -144,7 +169,13 @@ func RegisterRouterMetrics(reg *telemetry.Registry, scheme string, r route.Route
 	stat("table_evictions_total", "Routing-table entries evicted by the cap.", func(s core.Stats) int64 { return int64(s.TableEvictions) })
 	stat("paths_replaced_total", "Mice paths replaced after probe failure.", func(s core.Stats) int64 { return int64(s.PathsReplaced) })
 	stat("threshold_updates_total", "Adaptive threshold re-calibrations.", func(s core.Stats) int64 { return int64(s.ThresholdUpdates) })
+	stat("sender_thresholds", "Senders with a live per-sender threshold override.", func(s core.Stats) int64 { return int64(s.SenderThresholds) })
+	stat("sender_threshold_updates_total", "Per-sender threshold override moves.", func(s core.Stats) int64 { return int64(s.SenderThresholdUpdates) })
+	stat("probe_width_updates_total", "Probe-pool width re-tunes.", func(s core.Stats) int64 { return int64(s.ProbeWidthUpdates) })
 	reg.GaugeFunc("flash_threshold"+lbl, "Current elephant classification threshold.", fl.Threshold)
+	reg.GaugeFunc("flash_probe_workers"+lbl, "Current speculative probe-pool width.", func() float64 {
+		return float64(fl.ProbeWorkers())
+	})
 }
 
 // RegisterNetworkMetrics exposes a pcn network's cumulative message and

@@ -17,7 +17,13 @@ import (
 //
 // showThreshold adds the effective-elephant-threshold column and the
 // threshold-update footer — the adaptive-threshold view; off, the
-// output shape matches the historical fixed-threshold rendering.
+// output shape matches the historical fixed-threshold rendering. When
+// the run additionally carries the re-classification view
+// (res.AdaptiveView), the threshold column is joined by per-window
+// mice/elephant success counts classified against the threshold in
+// effect during that window, and a control-plane footer reports the
+// per-knob decision rollup when the general plane drove the run
+// (res.ControlOn).
 //
 // Latency columns (p50/p95/p99 completion latency per window) and the
 // deadline-expiry footer appear exactly when the run carried a latency
@@ -26,14 +32,25 @@ import (
 func WriteDynamicResult(out io.Writer, scheme string, res DynamicResult, showThreshold bool) {
 	fmt.Fprintf(out, "== %s ==\n", scheme)
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	adaptiveCols := showThreshold && res.AdaptiveView
 	cols := "window\tpayments\tsucc.ratio\tsucc.volume\tprobe msgs\tfee ratio"
 	if showThreshold {
 		cols += "\teff.thr"
+	}
+	if adaptiveCols {
+		cols += "\tmice ok/tot\teleph ok/tot"
 	}
 	if res.LatencyOn {
 		cols += "\tp50 lat\tp95 lat\tp99 lat"
 	}
 	fmt.Fprintln(w, cols)
+	writeAdaptive := func(m *Metrics) {
+		if adaptiveCols {
+			fmt.Fprintf(w, "\t%d/%d\t%d/%d",
+				m.MiceSuccesses, m.MicePayments,
+				m.ElephantSuccesses, m.ElephantPayments)
+		}
+	}
 	writeLat := func(l *LatencyStats) {
 		if res.LatencyOn {
 			fmt.Fprintf(w, "\t%.3fs\t%.3fs\t%.3fs", l.P50(), l.P95(), l.P99())
@@ -48,6 +65,7 @@ func WriteDynamicResult(out io.Writer, scheme string, res DynamicResult, showThr
 		if showThreshold {
 			fmt.Fprintf(w, "\t%.4g", win.Threshold)
 		}
+		writeAdaptive(&win.Adaptive)
 		writeLat(&win.Latency)
 		fmt.Fprintln(w)
 	}
@@ -58,6 +76,7 @@ func WriteDynamicResult(out io.Writer, scheme string, res DynamicResult, showThr
 	if showThreshold {
 		fmt.Fprintf(w, "\t%.4g", res.FinalThreshold)
 	}
+	writeAdaptive(&res.Adaptive)
 	writeLat(&res.Latency)
 	fmt.Fprintln(w)
 	w.Flush()
@@ -67,6 +86,12 @@ func WriteDynamicResult(out io.Writer, scheme string, res DynamicResult, showThr
 		c[event.ChannelClose], c[event.Rebalance], c[event.DemandShift], c[event.FeeShift], res.SpanAborts)
 	if showThreshold {
 		fmt.Fprintf(out, "; threshold updates %d (final %.4g)", res.ThresholdUpdates, res.FinalThreshold)
+	}
+	if res.ControlOn {
+		fmt.Fprintf(out, "; control decisions %d", res.ControlDecisions)
+		for _, st := range res.Controllers {
+			fmt.Fprintf(out, " [%s x%d last %.4g]", st.Knob, st.Decisions, st.Last)
+		}
 	}
 	if res.Deadline > 0 {
 		fmt.Fprintf(out, "; deadline expiries %d", res.DeadlineExpiries)

@@ -97,6 +97,15 @@ func (m Metrics) MiceSuccessRatio() float64 {
 	return float64(m.MiceSuccesses) / float64(m.MicePayments)
 }
 
+// ElephantSuccessRatio is the success ratio over elephant payments
+// only.
+func (m Metrics) ElephantSuccessRatio() float64 {
+	if m.ElephantPayments == 0 {
+		return 0
+	}
+	return float64(m.ElephantSuccesses) / float64(m.ElephantPayments)
+}
+
 // FeeRatio is total fees over delivered volume (the paper's Figure 9
 // metric, "unit transaction fees in percentage ... obtained over all
 // payments").

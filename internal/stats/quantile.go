@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -154,4 +155,63 @@ func (e *QuantileEstimator) Quantile() float64 {
 		return percentileSorted(buf, e.p*100)
 	}
 	return e.q[2]
+}
+
+// StdErr returns the approximate standard error of the current
+// quantile estimate, via the asymptotic sample-quantile variance
+// formula SE ≈ sqrt(p(1−p)/n) / f̂(q): the binomial rank noise divided
+// by the local density of the distribution at the quantile. The
+// density is estimated from the P² markers themselves — the fraction
+// of observations lying between the two markers flanking the quantile,
+// divided by their height span — so the error estimate costs no extra
+// state and stays a pure function of the observation sequence.
+//
+// With fewer than five observations (the P² markers are not yet
+// placed) it returns +Inf: the estimate carries no usable confidence,
+// and a caller gating decisions on the error will correctly hold off.
+// A degenerate stream whose flanking markers coincide (all mass at one
+// point) returns 0: the quantile is exact.
+func (e *QuantileEstimator) StdErr() float64 {
+	if e.count < 5 {
+		return math.Inf(1)
+	}
+	spread := e.q[3] - e.q[1]
+	if spread <= 0 {
+		return 0
+	}
+	frac := (e.n[3] - e.n[1]) / float64(e.count)
+	if frac <= 0 {
+		return math.Inf(1)
+	}
+	density := frac / spread
+	return math.Sqrt(e.p*(1-e.p)/float64(e.count)) / density
+}
+
+// ConfidenceInterval returns the symmetric z-score interval
+// Quantile() ± z·StdErr() clamped to the observed stream range (the
+// extreme P² markers) — the confidence gate the smoothed-threshold
+// control policy swaps against. With fewer than five observations the
+// interval is the whole observed range.
+func (e *QuantileEstimator) ConfidenceInterval(z float64) (lo, hi float64) {
+	q := e.Quantile()
+	se := e.StdErr()
+	if math.IsInf(se, 1) {
+		if e.count == 0 {
+			return 0, 0
+		}
+		if e.count < 5 {
+			// Markers not placed yet: q[:count] holds the sorted
+			// observations, the rest of the array is unset.
+			return e.q[0], e.q[e.count-1]
+		}
+		return e.q[0], e.q[4]
+	}
+	lo, hi = q-z*se, q+z*se
+	if lo < e.q[0] {
+		lo = e.q[0]
+	}
+	if hi > e.q[4] {
+		hi = e.q[4]
+	}
+	return lo, hi
 }
