@@ -61,9 +61,65 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		"Benchmark without numbers",
 		"BenchmarkX notanumber ns/op",
 		"-- some table row --",
+		"BenchmarkX notanumber 123 ns/op",  // non-numeric iteration count
+		"BenchmarkX 10 notanumber ns/op",   // non-numeric metric value
+		"BenchmarkX 10 1.5 ns/op bad more", // later metric value non-numeric
+		"benchmarkLower 10 123 ns/op",      // missing Benchmark prefix
 	} {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("parseLine accepted %q", line)
 		}
+	}
+}
+
+// TestParseLineOddFieldCount pins the trailing-unpaired-field behavior:
+// complete value/unit pairs parse, a dangling value without its unit is
+// dropped rather than inventing a metric.
+func TestParseLineOddFieldCount(t *testing.T) {
+	r, ok := parseLine("BenchmarkX 10 123 ns/op 456")
+	if !ok {
+		t.Fatal("line with one complete pair should parse")
+	}
+	if len(r.Metrics) != 1 || r.Metrics["ns/op"] != 123 {
+		t.Errorf("metrics = %v, want only ns/op=123", r.Metrics)
+	}
+}
+
+// TestConvertEmptyInput checks an empty stream still yields a valid,
+// decodable report with no benchmarks instead of an error or null.
+func TestConvertEmptyInput(t *testing.T) {
+	var out, echo bytes.Buffer
+	if err := convert(strings.NewReader(""), &out, &echo); err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(out.Bytes(), &r); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(r.Benchmarks) != 0 {
+		t.Errorf("benchmarks = %v, want none", r.Benchmarks)
+	}
+	if echo.Len() != 0 {
+		t.Errorf("echo = %q, want empty", echo.String())
+	}
+}
+
+// TestConvertMalformedLinesEcho checks a malformed benchmark line is
+// passed through to the echo stream, not dropped or misparsed.
+func TestConvertMalformedLinesEcho(t *testing.T) {
+	var out, echo bytes.Buffer
+	in := "BenchmarkBroken notanumber 123 ns/op\nBenchmarkGood 10 123 ns/op\n"
+	if err := convert(strings.NewReader(in), &out, &echo); err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(out.Bytes(), &r); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(r.Benchmarks) != 1 || r.Benchmarks[0].Name != "BenchmarkGood" {
+		t.Errorf("benchmarks = %+v, want only BenchmarkGood", r.Benchmarks)
+	}
+	if !strings.Contains(echo.String(), "BenchmarkBroken") {
+		t.Error("malformed line should pass through to the echo stream")
 	}
 }

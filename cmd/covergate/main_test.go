@@ -1,0 +1,110 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTemp drops content into a fresh temp file and returns its path.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestProfileTotal pins the coverage arithmetic: percent of statements
+// with a non-zero count, matching `go tool cover -func` totals.
+func TestProfileTotal(t *testing.T) {
+	profile := writeTemp(t, "cover.out", strings.Join([]string{
+		"mode: set",
+		"repro/a.go:1.1,2.2 4 1",
+		"repro/a.go:3.1,4.2 4 0",
+		"repro/b.go:1.1,9.2 2 7",
+		"",
+	}, "\n"))
+	total, err := profileTotal(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100 * 6.0 / 10.0; math.Abs(total-want) > 1e-9 {
+		t.Errorf("total = %v, want %v", total, want)
+	}
+}
+
+// TestProfileTotalEmpty covers the degenerate profiles: a zero-byte
+// file and a mode-line-only file both carry no statements.
+func TestProfileTotalEmpty(t *testing.T) {
+	for _, tc := range []struct{ name, content string }{
+		{"zero-byte", ""},
+		{"mode-only", "mode: atomic\n"},
+		{"blank-lines", "mode: set\n\n\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			profile := writeTemp(t, "cover.out", tc.content)
+			_, err := profileTotal(profile)
+			if err == nil || !strings.Contains(err.Error(), "no statements in profile") {
+				t.Errorf("want 'no statements in profile' error, got %v", err)
+			}
+		})
+	}
+}
+
+// TestProfileTotalMalformed checks malformed profile lines fail with a
+// positional error instead of being silently skipped.
+func TestProfileTotalMalformed(t *testing.T) {
+	for _, tc := range []struct{ name, line, wantErr string }{
+		{"two fields", "repro/a.go:1.1,2.2 4", "want 3 fields"},
+		{"four fields", "repro/a.go:1.1,2.2 4 1 9", "want 3 fields"},
+		{"bad statement count", "repro/a.go:1.1,2.2 x 1", "statements"},
+		{"bad hit count", "repro/a.go:1.1,2.2 4 x", "count"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			profile := writeTemp(t, "cover.out", "mode: set\n"+tc.line+"\n")
+			_, err := profileTotal(profile)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("want error containing %q, got %v", tc.wantErr, err)
+			}
+			if err != nil && !strings.Contains(err.Error(), ":2:") {
+				t.Errorf("error should carry the line number, got %v", err)
+			}
+		})
+	}
+}
+
+// TestProfileTotalMissing covers the profile file not existing at all.
+func TestProfileTotalMissing(t *testing.T) {
+	_, err := profileTotal(filepath.Join(t.TempDir(), "nope.out"))
+	if err == nil {
+		t.Error("want an error for a missing profile")
+	}
+}
+
+// TestReadBaseline pins baseline parsing: a bare number with optional
+// surrounding whitespace.
+func TestReadBaseline(t *testing.T) {
+	v, err := readBaseline(writeTemp(t, "baseline.txt", " 77.74\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 77.74 {
+		t.Errorf("baseline = %v, want 77.74", v)
+	}
+}
+
+// TestReadBaselineErrors covers the missing and malformed baseline —
+// the gate must fail loudly rather than default to zero (which would
+// make every run pass).
+func TestReadBaselineErrors(t *testing.T) {
+	if _, err := readBaseline(filepath.Join(t.TempDir(), "absent.txt")); err == nil {
+		t.Error("want an error for a missing baseline file")
+	}
+	if _, err := readBaseline(writeTemp(t, "baseline.txt", "not-a-number\n")); err == nil {
+		t.Error("want an error for a malformed baseline")
+	}
+}

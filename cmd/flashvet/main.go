@@ -1,0 +1,102 @@
+// Command flashvet runs the repository's project-specific static
+// analyzers (internal/analysis) over the module: the determinism,
+// lock-order, observer-only and doc-comment contracts that ordinary
+// vet/staticcheck cannot see. It is the CI lint gate.
+//
+// Usage:
+//
+//	flashvet ./...               # audit every package in the module
+//	flashvet ./internal/pcn      # audit specific package directories
+//	flashvet -v ./...            # also list directive-suppressed findings
+//	flashvet -catalogue          # print the analyzer/rule catalogue
+//
+// Exit status is 1 when any unsuppressed diagnostic remains. Audited
+// exceptions are written in the source as
+//
+//	//flashvet:allow <analyzer>/<rule> <reason>
+//
+// on the flagged line or the line above; a directive that suppresses
+// nothing is itself a diagnostic, so stale annotations fail the gate
+// too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print directive-suppressed findings")
+	catalogue := flag.Bool("catalogue", false, "print the analyzer and rule catalogue and exit")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *catalogue {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+			for _, r := range a.Rules {
+				fmt.Printf("  %s\n", r)
+			}
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	var pkgs []*analysis.Package
+	for _, arg := range args {
+		switch arg {
+		case "./...", "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			pkg, err := loader.Load(arg)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	res, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		for _, d := range res.Suppressed {
+			fmt.Fprintf(os.Stderr, "allowed: %s\n", res.Format(d))
+		}
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Println(res.Format(d))
+	}
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "flashvet: %d diagnostic(s) in %d package(s)\n", len(res.Diagnostics), len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "flashvet: ok — %d package(s), %d analyzer(s), %d audited exception(s)\n",
+		len(pkgs), len(analyzers), len(res.Suppressed))
+}
+
+// fatal prints err and exits with status 2 (analysis could not run, as
+// distinct from exit 1, diagnostics found).
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flashvet:", err)
+	os.Exit(2)
+}

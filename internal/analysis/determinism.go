@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism rule identifiers.
+const (
+	// RuleWallclock flags wall-clock reads (time.Now/Since/Until) in a
+	// deterministic package: virtual-time code must never observe the
+	// wall clock, or identical seeds stop replaying identical bytes.
+	RuleWallclock = "determinism/wallclock"
+	// RuleGlobalRand flags the global math/rand top-level functions,
+	// whose shared process-global source is randomly seeded since
+	// Go 1.20 — every draw must come from an explicitly seeded *Rand.
+	RuleGlobalRand = "determinism/globalrand"
+	// RuleRandNew flags rand.New calls whose source is not a literal
+	// rand.NewSource(seed) — seed provenance must be syntactically
+	// visible at the construction site.
+	RuleRandNew = "determinism/randnew"
+	// RuleMapRange flags a range over a map whose loop body feeds an
+	// order-sensitive sink (slice append, event enqueue, writer/hash
+	// output) with no intervening sort: map iteration order is
+	// randomized per run, so the sink's bytes differ run to run.
+	RuleMapRange = "determinism/maprange"
+	// RuleFloatAccum flags floating-point accumulation (+=, -=, *=,
+	// /=) into a loop-invariant target inside a map range: float
+	// arithmetic does not commute in rounding, so the low bits of the
+	// sum depend on iteration order. Integer accumulation is exact and
+	// exempt.
+	RuleFloatAccum = "determinism/floataccum"
+)
+
+// DeterminismAnalyzer enforces the replay-determinism contract in the
+// deterministic packages: identical seeds must produce identical
+// bytes, so nothing in them may read the wall clock, draw from global
+// randomness, or let map-iteration order reach an ordered sink.
+var DeterminismAnalyzer = &Analyzer{
+	Name:      "determinism",
+	Doc:       "forbid wall-clock reads, global/unseeded randomness, and map-iteration order leaking into ordered sinks in the deterministic packages",
+	Rules:     []string{RuleWallclock, RuleGlobalRand, RuleRandNew, RuleMapRange, RuleFloatAccum},
+	AppliesTo: byName(DeterministicPackages),
+	Run:       runDeterminism,
+}
+
+// runDeterminism walks every file for the four determinism rules.
+func runDeterminism(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDeterministicCall applies the wallclock, globalrand and randnew
+// rules to one call expression.
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch pkg {
+	case "time":
+		if isPackageFunc(fn) && (name == "Now" || name == "Since" || name == "Until") {
+			pass.Reportf(call.Pos(), RuleWallclock,
+				"time.%s reads the wall clock in a deterministic package — use virtual time, or annotate an observer-only metric", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !isPackageFunc(fn) {
+			return // methods on an explicitly constructed *rand.Rand are fine
+		}
+		switch name {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			if name == "New" && !seededRandNew(pass.Pkg.Info, call) {
+				pass.Reportf(call.Pos(), RuleRandNew,
+					"rand.New with a source that is not a literal rand.NewSource(seed) — seed provenance must be visible at the construction site")
+			}
+		default:
+			pass.Reportf(call.Pos(), RuleGlobalRand,
+				"rand.%s draws from the process-global source — use an explicitly seeded *rand.Rand", name)
+		}
+	}
+}
+
+// isPackageFunc reports whether fn is a package-level function (not a
+// method).
+func isPackageFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// seededRandNew reports whether a rand.New call's argument is a direct
+// rand.NewSource / rand.NewPCG / rand.NewChaCha8 call.
+func seededRandNew(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	src, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, src)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "NewSource", "NewPCG", "NewChaCha8":
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRanges audits every range-over-map statement in fn for
+// order-sensitive sinks in its body.
+func checkMapRanges(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass.Pkg.Info, rng) {
+			return true
+		}
+		if sink := findOrderSink(pass, fn, rng); sink != "" {
+			pass.Reportf(rng.Pos(), RuleMapRange,
+				"map iteration order feeds %s — iterate sorted keys, sort the result before it is consumed, or annotate why order cannot matter", sink)
+		}
+		checkFloatAccum(pass, rng)
+		return true
+	})
+}
+
+// checkFloatAccum flags order-dependent floating-point accumulation
+// inside one map-range body (nested map-ranges are audited on their
+// own).
+func checkFloatAccum(pass *Pass, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rng && isMapRange(info, inner) {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		lhs := assign.Lhs[0]
+		if !isFloat(info.TypeOf(lhs)) {
+			return true
+		}
+		target := targetObject(info, lhs)
+		if target == nil || definedWithin(target, rng.Body) {
+			return true
+		}
+		pass.Reportf(assign.Pos(), RuleFloatAccum,
+			"floating-point accumulation into %s in map-iteration order — rounding depends on order; iterate sorted keys or annotate why the low bits cannot matter", target.Name())
+		return true
+	})
+}
+
+// isFloat reports whether t has a floating-point basic kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMapRange reports whether rng iterates a map.
+func isMapRange(info *types.Info, rng *ast.RangeStmt) bool {
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// findOrderSink scans the body of a map-range for the first
+// order-sensitive sink whose target outlives one iteration, skipping
+// nested map-ranges (audited on their own). It returns a description
+// of the sink, or "" if the body is order-insensitive.
+func findOrderSink(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) string {
+	info := pass.Pkg.Info
+	var sink string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rng && isMapRange(info, inner) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sink = classifySink(pass, fn, rng, call)
+		return sink == ""
+	})
+	return sink
+}
+
+// classifySink decides whether one call inside a map-range body is an
+// order-sensitive sink: a slice append (unless the slice is sorted
+// later in the function), fmt output, or a Write/Push/Enqueue-style
+// method on a target declared outside the loop body.
+func classifySink(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, call *ast.CallExpr) string {
+	info := pass.Pkg.Info
+	switch callee := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if isBuiltinAppend(info, callee) && len(call.Args) > 0 {
+			target := targetObject(info, call.Args[0])
+			if target == nil || definedWithin(target, rng.Body) {
+				return ""
+			}
+			if sortedAfter(info, fn, rng, target) {
+				return ""
+			}
+			return "append to " + target.Name()
+		}
+	case *ast.SelectorExpr:
+		fnObj := calleeFunc(info, call)
+		if fnObj != nil && fnObj.Pkg() != nil && fnObj.Pkg().Path() == "fmt" && isPackageFunc(fnObj) {
+			switch name := fnObj.Name(); name {
+			case "Print", "Println", "Printf":
+				return "fmt." + name + " output"
+			case "Fprint", "Fprintln", "Fprintf":
+				if len(call.Args) > 0 {
+					if target := targetObject(info, call.Args[0]); target != nil && definedWithin(target, rng.Body) {
+						return ""
+					}
+				}
+				return "fmt." + name + " output"
+			}
+			return ""
+		}
+		if !orderSinkMethod(callee.Sel.Name) {
+			return ""
+		}
+		// A method call: order-sensitive only when the receiver
+		// outlives the iteration (a per-iteration buffer is fine).
+		if sel, ok := info.Selections[callee]; ok && sel.Kind() == types.MethodVal {
+			target := targetObject(info, callee.X)
+			if target == nil || definedWithin(target, rng.Body) {
+				return ""
+			}
+			return "." + callee.Sel.Name + " on " + target.Name()
+		}
+	}
+	return ""
+}
+
+// orderSinkMethod reports whether a method name denotes an
+// order-sensitive sink: stream/hash writes and event-queue inserts.
+func orderSinkMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Push", "Enqueue", "Schedule":
+		return true
+	}
+	return false
+}
+
+// isBuiltinAppend reports whether id resolves to the append builtin.
+func isBuiltinAppend(info *types.Info, id *ast.Ident) bool {
+	if id.Name != "append" {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// targetObject resolves the object a sink expression ultimately writes
+// through (the base identifier of a selector/index chain).
+func targetObject(info *types.Info, e ast.Expr) types.Object {
+	id := exprIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// definedWithin reports whether obj is declared inside node's source
+// span — a per-iteration local rather than an accumulator.
+func definedWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() != token.NoPos && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// sortedAfter reports whether fn's body, after the range statement,
+// sorts the object the loop appended to — the canonical
+// collect-then-sort fix for map iteration.
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || callee.Pkg() == nil || !isSortFunc(callee) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if targetObject(info, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortFunc reports whether fn is a sort/slices ordering function.
+func isSortFunc(fn *types.Func) bool {
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// RuleDocExported flags an exported declaration without a doc comment
+// in the audited packages — the documentation contract formerly
+// enforced by internal/doclint, migrated here so one engine owns all
+// repository lint.
+const RuleDocExported = "doccomment/exported"
+
+// DocCommentAnalyzer enforces the documentation contract: every
+// exported type, function, method, variable and constant in the
+// audited packages carries a doc comment. A type/var/const group's doc
+// comment covers its specs; a value spec's line comment also counts.
+var DocCommentAnalyzer = &Analyzer{
+	Name:      "doccomment",
+	Doc:       "every exported identifier in the audited packages must carry a doc comment",
+	Rules:     []string{RuleDocExported},
+	AppliesTo: byName(DocumentedPackages),
+	Run:       runDocComment,
+}
+
+// runDocComment walks each file's top-level declarations.
+func runDocComment(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !exportedFunc(d) {
+					continue
+				}
+				if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+					pass.Reportf(d.Pos(), RuleDocExported, "exported func %s lacks a doc comment", docFuncName(d))
+				}
+			case *ast.GenDecl:
+				lintGenDecl(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// lintGenDecl checks type/var/const groups: a spec is covered by its
+// own doc comment, its line comment, or — for single-purpose groups —
+// the group's doc comment.
+func lintGenDecl(pass *Pass, d *ast.GenDecl) {
+	groupDoc := d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != ""
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && (s.Doc == nil || strings.TrimSpace(s.Doc.Text()) == "") {
+				pass.Reportf(s.Pos(), RuleDocExported, "exported type %s lacks a doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			hasDoc := groupDoc ||
+				(s.Doc != nil && strings.TrimSpace(s.Doc.Text()) != "") ||
+				(s.Comment != nil && strings.TrimSpace(s.Comment.Text()) != "")
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !hasDoc {
+					pass.Reportf(name.Pos(), RuleDocExported, "exported %s %s lacks a doc comment", declKind(d.Tok), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedFunc reports whether d is part of the exported API: an
+// exported function, or an exported method on an exported receiver.
+func exportedFunc(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	id := exprIdent(d.Recv.List[0].Type)
+	return id != nil && id.IsExported()
+}
+
+// docFuncName renders Receiver.Method or a plain function name.
+func docFuncName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	if id := exprIdent(d.Recv.List[0].Type); id != nil {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// declKind names a GenDecl token for messages.
+func declKind(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	default:
+		return tok.String()
+	}
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lock-order rule identifiers.
+const (
+	// RuleLockLoop flags a mutex Lock inside a for/range loop outside
+	// the ascending-index acquire helpers — looped acquisition without
+	// the global order is how lock cycles are born.
+	RuleLockLoop = "lockorder/loop"
+	// RuleLockNested flags a second lock acquisition on the same
+	// owner type while one is already held in the same function: a
+	// payment touching two channels must go through the two-phase
+	// ascending-index helper, never lock them ad hoc.
+	RuleLockNested = "lockorder/nested"
+	// RuleCopyLock flags a by-value copy of a type containing a lock
+	// or an atomic — copies split the lock from the state it guards.
+	RuleCopyLock = "lockorder/copylock"
+)
+
+// LockOrderAnalyzer enforces pcn's deadlock-freedom discipline: every
+// multi-channel lock acquisition goes through the ascending-index
+// two-phase helpers (see the pcn package comment, "Locking model"),
+// and lock-bearing values are never copied.
+var LockOrderAnalyzer = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "multi-channel lock acquisition must use the ascending-index helpers; no lock-in-loop outside them; no by-value copies of lock/atomic-bearing types",
+	Rules:     []string{RuleLockLoop, RuleLockNested, RuleCopyLock},
+	AppliesTo: byName(map[string]bool{"pcn": true}),
+	Run:       runLockOrder,
+}
+
+// runLockOrder applies the three lock rules file by file.
+func runLockOrder(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				checkCopyLockSignature(pass, n)
+				if !LockAcquireHelpers[n.Name.Name] {
+					checkLockLoops(pass, n)
+					checkNestedLocks(pass, n)
+				}
+			case *ast.AssignStmt:
+				checkCopyLockAssign(pass, n)
+			case *ast.RangeStmt:
+				checkCopyLockRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mutexLockCall decomposes a call of the form recv.Lock()/recv.RLock()
+// on a sync mutex, returning the receiver expression, the owning
+// struct's type name (e.g. "channel" for n.chans[i].mu), and whether
+// the call locks (as opposed to unlocks).
+func mutexLockCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, owner string, lock, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		lock = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil, "", false, false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || !isSyncLock(t) {
+		return nil, "", false, false
+	}
+	// The owner is the struct the mutex field lives in: for x.mu the
+	// type of x; for a bare local mutex there is no owner.
+	if fieldSel, isField := ast.Unparen(sel.X).(*ast.SelectorExpr); isField {
+		if ot := info.TypeOf(fieldSel.X); ot != nil {
+			owner = namedTypeName(ot)
+		}
+	}
+	return sel.X, owner, lock, true
+}
+
+// isSyncLock reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncLock(t types.Type) bool {
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// namedTypeName unwraps pointers and returns the named type's name, or
+// "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}
+
+// checkLockLoops flags mutex Locks inside for/range statements in
+// functions that are not acquire helpers.
+func checkLockLoops(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var loopDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			ast.Inspect(bodyOf(n), func(m ast.Node) bool { return walk(m) })
+			loopDepth--
+			return false
+		case *ast.CallExpr:
+			if _, _, lock, ok := mutexLockCall(info, n); ok && lock && loopDepth > 0 {
+				pass.Reportf(n.Pos(), RuleLockLoop,
+					"mutex Lock inside a loop outside the ascending-index acquire helpers (%s) — looped acquisition must go through them", helperNames())
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// bodyOf returns the body block of a for or range statement.
+func bodyOf(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// helperNames renders the acquire-helper allowlist for messages.
+func helperNames() string {
+	names := make([]string, 0, len(LockAcquireHelpers))
+	for n := range LockAcquireHelpers {
+		names = append(names, n)
+	}
+	// Deterministic message text: the set is tiny, sort by insertion
+	// into a fixed order.
+	if len(names) == 2 && names[0] > names[1] {
+		names[0], names[1] = names[1], names[0]
+	}
+	return names[0] + "/" + names[1]
+}
+
+// checkNestedLocks walks fn's statements in source order tracking
+// which mutexes are held, and flags a second acquisition on the same
+// owner type — or a call into an acquire helper — while one is held.
+// The scan is intra-function and textual: it cannot see locks held by
+// callers, which is exactly why multi-lock acquisition is confined to
+// the audited helpers.
+func checkNestedLocks(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	held := map[string]string{} // receiver expr string → owner type
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at return; the lock stays
+			// held for the rest of the scan. Skip so the Unlock is
+			// not treated as an immediate release.
+			return false
+		case *ast.FuncLit:
+			return false // closure bodies run elsewhere
+		case *ast.CallExpr:
+			if recv, owner, lock, ok := mutexLockCall(info, n); ok {
+				key := types.ExprString(recv)
+				if !lock {
+					delete(held, key)
+					return true
+				}
+				if owner != "" {
+					for heldKey, heldOwner := range held {
+						if heldOwner == owner && heldKey != key {
+							pass.Reportf(n.Pos(), RuleLockNested,
+								"second %s lock acquired while %s is held — multi-channel acquisition must go through the ascending-index helpers (%s)",
+								owner, heldKey, helperNames())
+							break
+						}
+					}
+				}
+				held[key] = owner
+				return true
+			}
+			if callee := calleeFunc(info, n); callee != nil && LockAcquireHelpers[callee.Name()] && len(held) > 0 {
+				pass.Reportf(n.Pos(), RuleLockNested,
+					"%s called while a lock is already held — release before batch-acquiring, or fold the lock into the batch", callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkCopyLockSignature flags by-value lock-bearing parameters,
+// results and receivers.
+func checkCopyLockSignature(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	check := func(fields *ast.FieldList, what string) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			t := info.TypeOf(f.Type)
+			if t == nil || !containsLock(t) {
+				continue
+			}
+			pass.Reportf(f.Type.Pos(), RuleCopyLock,
+				"%s passes %s by value — it contains a lock or atomic; use a pointer", what, types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+		}
+	}
+	check(fn.Recv, "receiver")
+	check(fn.Type.Params, "parameter")
+	check(fn.Type.Results, "result")
+}
+
+// checkCopyLockAssign flags assignments that copy a lock-bearing value
+// out of an existing variable (composite literals and function results
+// construct fresh values and are fine).
+func checkCopyLockAssign(pass *Pass, assign *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	for i, rhs := range assign.Rhs {
+		if i < len(assign.Lhs) {
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue
+		}
+		t := info.TypeOf(rhs)
+		if t == nil || !containsLock(t) {
+			continue
+		}
+		pass.Reportf(rhs.Pos(), RuleCopyLock,
+			"assignment copies %s by value — it contains a lock or atomic; use a pointer", types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+	}
+}
+
+// checkCopyLockRange flags `for _, v := range xs` where the element
+// copy carries a lock.
+func checkCopyLockRange(pass *Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	t := info.TypeOf(rng.Value)
+	if t == nil || !containsLock(t) {
+		return
+	}
+	pass.Reportf(rng.Value.Pos(), RuleCopyLock,
+		"range copies %s elements by value — they contain a lock or atomic; range over indices", types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+}
+
+// containsLock reports whether t (by value) transitively contains a
+// sync lock primitive or a sync/atomic value type.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+// containsLockRec is containsLock with a visited set guarding against
+// recursive types.
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if pkg := n.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				switch n.Obj().Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return true
+				}
+			case "sync/atomic":
+				return true // every exported sync/atomic type is single-copy
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return false
+}

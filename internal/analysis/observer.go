@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Observer-only rule identifiers.
+const (
+	// RuleObserverImport flags an observer package importing an engine
+	// package: telemetry is a leaf by construction, so a feedback path
+	// from observation into routing cannot even compile.
+	RuleObserverImport = "observer/import"
+	// RuleObserverMutate flags an observer calling a non-accessor
+	// engine function — defense in depth should an import ever be
+	// allowed by directive.
+	RuleObserverMutate = "observer/mutate"
+	// RuleObserverWallclock flags wall-clock reads in an observer:
+	// the only wall-clock field is FlowRecord.WallNS, stamped by the
+	// emitting harness, never by the observer itself.
+	RuleObserverWallclock = "observer/wallclock"
+	// RuleObserverRand flags randomness consumption in an observer —
+	// an observer that draws randomness could perturb nothing today,
+	// but the contract is that it provably consumes none.
+	RuleObserverRand = "observer/rand"
+)
+
+// ObserverAnalyzer enforces the observer-only telemetry contract from
+// PR 7: a run with every sink attached must produce fingerprints and
+// bytes identical to a run with telemetry off, which holds because the
+// observer cannot reach engine state, the wall clock, or randomness.
+var ObserverAnalyzer = &Analyzer{
+	Name:      "observer",
+	Doc:       "observer-only packages may not import or call engine APIs, read the wall clock, or consume randomness",
+	Rules:     []string{RuleObserverImport, RuleObserverMutate, RuleObserverWallclock, RuleObserverRand},
+	AppliesTo: byName(ObserverPackages),
+	Run:       runObserver,
+}
+
+// runObserver applies the four observer rules file by file.
+func runObserver(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if bannedEnginePath(path) {
+				pass.Reportf(imp.Pos(), RuleObserverImport,
+					"observer package imports engine package %s — telemetry must stay a leaf; push data in through interfaces instead", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg.Types {
+				return true
+			}
+			switch path := fn.Pkg().Path(); {
+			case path == "time" && isPackageFunc(fn) &&
+				(fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+				pass.Reportf(call.Pos(), RuleObserverWallclock,
+					"time.%s in an observer package — wall time is stamped by the emitting harness (FlowRecord.WallNS), never read here", fn.Name())
+			case path == "math/rand" || path == "math/rand/v2" || path == "crypto/rand":
+				pass.Reportf(call.Pos(), RuleObserverRand,
+					"observer package consumes randomness (%s.%s) — the observer-only contract requires it draws none", path, fn.Name())
+			case bannedEnginePath(path) && !ObserverReadAllowlist[fn.Name()]:
+				pass.Reportf(call.Pos(), RuleObserverMutate,
+					"observer calls engine API %s.%s — only read-only accessors (%s) are permitted", path, fn.Name(), allowlistNames())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// bannedEnginePath reports whether an import path names an engine
+// package an observer may not touch: any package of this module, or —
+// for the fixture packages, which have bare single-element paths — a
+// path whose base is a known engine package name.
+func bannedEnginePath(path string) bool {
+	if path == "repro" || strings.HasPrefix(path, "repro/") {
+		return true
+	}
+	if strings.Contains(path, ".") {
+		return false // external domain — none exist in this module
+	}
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	return EngineBannedFromObservers[base]
+}
+
+// allowlistNames renders the read-only allowlist for messages.
+func allowlistNames() string {
+	names := make([]string, 0, len(ObserverReadAllowlist))
+	for n := range ObserverReadAllowlist {
+		names = append(names, n)
+	}
+	// Small fixed set; sort for stable messages.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, "/")
+}

@@ -1,0 +1,20 @@
+// Package other is not a deterministic package, so the determinism
+// analyzer must stay silent on patterns it would flag elsewhere.
+package other
+
+import "time"
+
+// WallClockFine is allowed here: "other" is outside the determinism
+// scope.
+func WallClockFine() time.Time {
+	return time.Now()
+}
+
+// MapOrderFine is likewise out of scope.
+func MapOrderFine(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

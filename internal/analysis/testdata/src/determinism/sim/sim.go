@@ -1,0 +1,114 @@
+// Package sim is a determinism-analyzer fixture: it carries the name
+// of a deterministic package, so every rule applies.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// wallClock exercises the wallclock rule.
+func wallClock() time.Duration {
+	start := time.Now() // want `determinism/wallclock: time\.Now reads the wall clock`
+	_ = start
+	return time.Since(start) // want `determinism/wallclock: time\.Since reads the wall clock`
+}
+
+// allowedWallClock is an audited exception: the directive suppresses
+// the finding, so no diagnostic is expected here.
+func allowedWallClock() time.Time {
+	//flashvet:allow determinism/wallclock fixture demonstrates an audited exception
+	return time.Now()
+}
+
+// globalRand exercises the globalrand rule.
+func globalRand() int {
+	return rand.Intn(10) // want `determinism/globalrand: rand\.Intn draws from the process-global source`
+}
+
+// seededRand draws from an explicitly seeded source: allowed.
+func seededRand() float64 {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Float64()
+}
+
+// opaqueSource hides the seed provenance behind a variable: flagged.
+func opaqueSource(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `determinism/randnew: rand\.New with a source that is not a literal rand\.NewSource`
+}
+
+// mapAppendUnsorted leaks map order into a slice: flagged.
+func mapAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `determinism/maprange: map iteration order feeds append to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapAppendSorted is the canonical fix — collect then sort: allowed.
+func mapAppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapPrint writes map entries straight to a stream: flagged.
+func mapPrint(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `determinism/maprange: map iteration order feeds fmt\.Fprintf output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// mapWriteOuter feeds an outer builder from map order: flagged.
+func mapWriteOuter(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `determinism/maprange: map iteration order feeds \.WriteString on b`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// mapWriteLocal writes into a per-iteration buffer: the target dies
+// with the iteration, so order cannot leak — allowed.
+func mapWriteLocal(m map[string]int, out map[string]string) {
+	for k := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		out[k] = b.String()
+	}
+}
+
+// mapFloatAccum sums floats in map order: flagged.
+func mapFloatAccum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `determinism/floataccum: floating-point accumulation into sum`
+	}
+	return sum
+}
+
+// mapIntAccum sums integers in map order: exact arithmetic, allowed.
+func mapIntAccum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// mapToMap copies between maps — no ordered sink, allowed.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

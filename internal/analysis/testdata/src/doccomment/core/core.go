@@ -1,0 +1,40 @@
+// Package core is a doccomment-analyzer fixture: it carries an
+// audited package name, so every exported identifier needs a doc
+// comment.
+package core
+
+// Documented is properly documented.
+func Documented() {}
+
+func Undocumented() {} // want `doccomment/exported: exported func Undocumented lacks a doc comment`
+
+// Router is documented.
+type Router struct{}
+
+// Route is documented.
+func (Router) Route() {}
+
+func (Router) Lookup() {} // want `doccomment/exported: exported func Router\.Lookup lacks a doc comment`
+
+type Table struct{} // want `doccomment/exported: exported type Table lacks a doc comment`
+
+// Grouped constants share the group comment.
+const (
+	KindA = 1
+	KindB = 2
+)
+
+// The blank line below keeps the expectation comment from attaching
+// as Threshold's doc comment.
+// want+2 `doccomment/exported: exported var Threshold lacks a doc comment`
+
+var Threshold = 0.5
+
+// MaxPaths has a doc comment.
+var MaxPaths = 4
+
+var private = 1
+
+func helper() { _ = private }
+
+var _ = helper

@@ -1,0 +1,9 @@
+// Package pcn is a fake engine package for the observer-analyzer
+// fixture: its name is on the engine ban list.
+package pcn
+
+// Mutate stands in for a state-changing engine API.
+func Mutate() {}
+
+// Stats stands in for a read-only accessor on the allowlist.
+func Stats() int { return 0 }

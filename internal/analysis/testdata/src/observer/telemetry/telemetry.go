@@ -1,0 +1,34 @@
+// Package telemetry is an observer-analyzer fixture: it carries the
+// observer package name, so the observer-only contract applies.
+package telemetry
+
+import (
+	"math/rand"
+	"time"
+
+	"pcn" // want `observer/import: observer package imports engine package pcn`
+)
+
+// touchEngine calls into the engine: the mutating call is flagged, the
+// allowlisted read-only accessor is not.
+func touchEngine() int {
+	pcn.Mutate() // want `observer/mutate: observer calls engine API pcn\.Mutate`
+	return pcn.Stats()
+}
+
+// wallRead reads the wall clock in an observer.
+func wallRead() time.Time {
+	return time.Now() // want `observer/wallclock: time\.Now in an observer package`
+}
+
+// drawRandom consumes randomness in an observer.
+func drawRandom() int {
+	return rand.Intn(2) // want `observer/rand: observer package consumes randomness`
+}
+
+// stampWall shows the audited-exception path for an observer that
+// must carry a wall-clock field stamped elsewhere.
+func stampWall() int64 {
+	//flashvet:allow observer/wallclock fixture demonstrates an audited exception
+	return time.Now().UnixNano()
+}

@@ -88,7 +88,9 @@ func MaxFlow(g *topo.Graph, s, t topo.NodeID, cap Capacity, maxPaths int, demand
 func FlowConserved(g *topo.Graph, s, t topo.NodeID, f FlowResult, tol float64) bool {
 	net := make(map[topo.NodeID]float64)
 	for e, x := range f.Flow {
+		//flashvet:allow determinism/floataccum conservation residue is compared against the caller's tolerance, which dwarfs order-dependent rounding
 		net[e.U] -= x
+		//flashvet:allow determinism/floataccum conservation residue is compared against the caller's tolerance, which dwarfs order-dependent rounding
 		net[e.V] += x
 	}
 	for u, x := range net {

@@ -299,8 +299,10 @@ func attemptPayment(net *pcn.Network, r route.Router, p trace.Payment, rngSeed i
 	if deferCommit {
 		tx.DeferCommit()
 	}
+	//flashvet:allow determinism/wallclock observer-only wall-elapsed metric; never feeds routing, virtual time or event order
 	start := time.Now()
 	rerr := r.Route(tx)
+	//flashvet:allow determinism/wallclock observer-only wall-elapsed metric; never feeds routing, virtual time or event order
 	elapsed := time.Since(start)
 	if !tx.Finished() {
 		// Defensive: a router must finish its session; treat an

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"sort"
+
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
@@ -99,9 +101,17 @@ func TopKRecurringShare(ps []Payment, k int) []float64 {
 		if len(perSender) == 0 {
 			continue
 		}
+		// Sum per-sender shares in sorted sender order: float addition
+		// rounds differently under different orders, so summing in map
+		// order would leak iteration order into the result's low bits.
+		senders := make([]topo.NodeID, 0, len(perSender))
+		for s := range perSender {
+			senders = append(senders, s)
+		}
+		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
 		sum := 0.0
-		for _, m := range perSender {
-			sum += topKShare(m, k)
+		for _, s := range senders {
+			sum += topKShare(perSender[s], k)
 		}
 		shares = append(shares, sum/float64(len(perSender)))
 	}
@@ -113,6 +123,7 @@ func TopKRecurringShare(ps []Payment, k int) []float64 {
 func topKShare(m map[topo.NodeID]int, k int) float64 {
 	counts := make([]int, 0, len(m))
 	total := 0
+	//flashvet:allow determinism/maprange top-k selection over integer counts; only the sum of the k largest is used, which is independent of collection order
 	for _, c := range m {
 		counts = append(counts, c)
 		total += c

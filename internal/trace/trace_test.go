@@ -256,3 +256,38 @@ func TestPickReceiverFallback(t *testing.T) {
 		}
 	}
 }
+
+// TestTopKRecurringShareDeterministic pins the fix for a real
+// map-iteration nondeterminism (found by flashvet determinism/
+// floataccum): per-sender top-k shares were summed in map-iteration
+// order, and float addition rounds differently under different orders,
+// so identical inputs produced results differing in the low bits from
+// run to run. The shares are deliberately non-representable fractions
+// (1/3, 1/7, …) so any reordering of the sum changes the bits.
+func TestTopKRecurringShareDeterministic(t *testing.T) {
+	var ps []Payment
+	// 12 senders, sender s having (2p_s) recurring payments split over
+	// p_s receivers with 2 each → top-1 share 1/p_s for prime p_s.
+	primes := []int{3, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43}
+	for s, p := range primes {
+		for r := 0; r < p; r++ {
+			for i := 0; i < 2; i++ {
+				ps = append(ps, Payment{
+					Sender:   topo.NodeID(s),
+					Receiver: topo.NodeID(1000 + r),
+					Time:     0.5,
+				})
+			}
+		}
+	}
+	first := TopKRecurringShare(ps, 1)
+	if len(first) != 1 {
+		t.Fatalf("want one day, got %v", first)
+	}
+	for i := 0; i < 100; i++ {
+		got := TopKRecurringShare(ps, 1)
+		if got[0] != first[0] {
+			t.Fatalf("run %d: share %x differs from first run %x — summation order leaked into the result", i, got[0], first[0])
+		}
+	}
+}
